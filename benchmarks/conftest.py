@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one table or figure of the paper via
+the corresponding driver in :mod:`repro.experiments`, times it with
+pytest-benchmark, and prints the reproduced rows/series so the output can be
+compared against the paper side by side.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print their reproduced tables; keep output readable.
+    config.option.benchmark_disable_gc = True
+
+
+@pytest.fixture
+def show():
+    """Print a reproduced table/figure under the benchmark's output."""
+
+    def _show(text: str) -> None:
+        print("\n" + text)
+
+    return _show

@@ -1,0 +1,13 @@
+"""Benchmark (extension): ablation of SubGraph caching policies."""
+
+from repro.experiments import ablation_caching as exp
+
+
+def test_bench_ablation_caching(benchmark, show):
+    result = benchmark(exp.run, "ofa_mobilenetv3", num_queries=120)
+    show(exp.report(result))
+    outcomes = result.by_name()
+    # Any caching beats never caching; adaptive policies beat never caching on
+    # byte hit ratio.
+    assert outcomes["running-average"].mean_latency_ms <= outcomes["never"].mean_latency_ms
+    assert outcomes["running-average"].mean_byte_hit_ratio > outcomes["never"].mean_byte_hit_ratio

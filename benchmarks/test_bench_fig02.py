@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 2 (arithmetic intensity per conv layer)."""
+
+from repro.experiments import fig02_arithmetic_intensity as exp
+
+
+def test_bench_fig02_arithmetic_intensity(benchmark, show):
+    result = benchmark(exp.run)
+    show(exp.report(result))
+    assert result.memory_bound_fraction["ofa_mobilenetv3"] > 0.1

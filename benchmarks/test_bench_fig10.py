@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 10 (latency breakdown w/ and w/o the PB)."""
+
+import pytest
+
+from repro.experiments import fig10_latency_breakdown as exp
+
+
+@pytest.mark.parametrize("supernet", ["ofa_resnet50", "ofa_mobilenetv3"])
+def test_bench_fig10_latency_breakdown(benchmark, show, supernet):
+    result = benchmark(exp.run, supernet)
+    show(exp.report(result))
+    lo, hi = result.reduction_range_percent
+    assert 3.0 < lo <= hi < 30.0

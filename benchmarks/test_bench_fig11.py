@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 11 (roofline and SGS roofline)."""
+
+import pytest
+
+from repro.experiments import fig11_roofline as exp
+
+
+@pytest.mark.parametrize("supernet", ["ofa_resnet50", "ofa_mobilenetv3"])
+def test_bench_fig11_roofline(benchmark, show, supernet):
+    result = benchmark(exp.run, supernet)
+    show(exp.report(result))
+    assert all(gain > 1.0 for gain in result.intensity_gain)

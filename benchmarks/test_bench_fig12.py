@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 12 (design-space exploration)."""
+
+import pytest
+
+from repro.experiments import fig12_dse as exp
+
+
+@pytest.mark.parametrize("supernet", ["ofa_resnet50", "ofa_mobilenetv3"])
+def test_bench_fig12_dse(benchmark, show, supernet):
+    result = benchmark(
+        exp.run,
+        supernet,
+        pb_kb_values=(512, 1728, 3456, 6912),
+        bandwidth_values_gbps=(9.6, 19.2, 38.4),
+        macs_per_cycle_values=(1296, 6480),
+    )
+    show(exp.report(result))
+    assert result.max_time_save_percent() > 2.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 13 (board latency and off-chip energy)."""
+
+from repro.experiments import fig13_board_latency_energy as exp
+
+
+def test_bench_fig13_board_latency_energy(benchmark, show):
+    result = benchmark(exp.run)
+    show(exp.report(result))
+    zlo, zhi = result.speedup_range("zcu104", "w/ PB")
+    assert zhi > 1.5  # SushiAccel clearly beats the CPU
+    elo, ehi = result.energy_saving_range_percent()
+    assert ehi > 10.0

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 14 (per-layer latency vs the Xilinx DPU)."""
+
+from repro.experiments import fig14_dpu_comparison as exp
+
+
+def test_bench_fig14_dpu_comparison(benchmark, show):
+    result = benchmark(exp.run)
+    show(exp.report(result))
+    assert result.geomean_speedup > 1.05

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 15 (SushiSched functional evaluation)."""
+
+import pytest
+
+from repro.experiments import fig15_scheduler_functional as exp
+
+
+@pytest.mark.parametrize("supernet", ["ofa_resnet50", "ofa_mobilenetv3"])
+def test_bench_fig15_scheduler_functional(benchmark, show, supernet):
+    result = benchmark(exp.run, supernet, num_queries=150)
+    show(exp.report(result))
+    assert result.latency_series.satisfied_fraction > 0.9
+    assert result.accuracy_series.satisfied_fraction > 0.95

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 16 (end-to-end SUSHI vs baselines)."""
+
+import pytest
+
+from repro.core.policies import Policy
+from repro.experiments import fig16_end_to_end as exp
+
+
+@pytest.mark.parametrize("supernet", ["ofa_resnet50", "ofa_mobilenetv3"])
+@pytest.mark.parametrize("policy", [Policy.STRICT_ACCURACY, Policy.STRICT_LATENCY])
+def test_bench_fig16_end_to_end(benchmark, show, supernet, policy):
+    result = benchmark(exp.run, supernet, policy=policy, num_queries=150)
+    show(exp.report(result))
+    metrics = {k: v.metrics for k, v in result.results.items()}
+    assert metrics["sushi"].mean_latency_ms <= metrics["no_sushi"].mean_latency_ms * 1.001

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 17/18 (temporal analysis of the caching window Q)."""
+
+import pytest
+
+from repro.experiments import fig17_18_temporal as exp
+
+
+@pytest.mark.parametrize("supernet", ["ofa_resnet50", "ofa_mobilenetv3"])
+def test_bench_fig17_18_temporal(benchmark, show, supernet):
+    result = benchmark(exp.run, supernet, num_queries=120)
+    show(exp.report(result))
+    assert result.best_window() in exp.DEFAULT_WINDOWS

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's headline numbers (Section 5.7 / A.4)."""
+
+from repro.experiments import headline as exp
+
+
+def test_bench_headline(benchmark, show):
+    result = benchmark(exp.run, num_queries=200)
+    show(exp.report(result))
+    assert result.best_latency_improvement() > 0
+    assert result.best_energy_saving() > 5.0

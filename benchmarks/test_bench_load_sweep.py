@@ -1,0 +1,28 @@
+"""Benchmark (extension): open-loop SLO attainment under increasing load."""
+
+from repro.core.policies import Policy
+from repro.serving import ExperimentRunner
+from repro.serving.simulator import OpenLoopSimulator
+
+
+def test_bench_open_loop_load_sweep(benchmark, show):
+    runner = ExperimentRunner("ofa_mobilenetv3", policy=Policy.STRICT_LATENCY, seed=0)
+    trace = runner.default_workload(num_queries=150)
+    simulator = OpenLoopSimulator.from_stack(runner.sushi)
+
+    def sweep():
+        return simulator.load_sweep(trace, arrival_rates_per_ms=(0.2, 0.5, 1.0, 2.0), seed=0)
+
+    results = benchmark(sweep)
+    lines = ["Open-loop load sweep (SUSHI, MobileNetV3):"]
+    for rate, result in results.items():
+        lines.append(
+            f"  arrival {rate:.1f}/ms  rho={result.offered_load:.2f}  "
+            f"SLO attainment {result.slo_attainment:.2f}  "
+            f"mean response {result.mean_response_ms:.2f} ms  "
+            f"p99 {result.p99_response_ms:.2f} ms"
+        )
+    show("\n".join(lines))
+    # Higher load can only hurt SLO attainment.
+    attainments = [results[r].slo_attainment for r in sorted(results)]
+    assert all(a >= b - 1e-9 for a, b in zip(attainments, attainments[1:]))

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 1 (buffer bandwidth requirements)."""
+
+from repro.experiments import tab01_bandwidth as exp
+
+
+def test_bench_tab01_bandwidth(benchmark, show):
+    result = benchmark(exp.run)
+    show(exp.report(result))
+    assert result.requirements_bytes_per_cycle["PB"] >= result.off_chip_bytes_per_cycle

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 2 (FPGA resource comparison)."""
+
+from repro.experiments import tab02_resources as exp
+
+
+def test_bench_tab02_resources(benchmark, show):
+    result = benchmark(exp.run)
+    show(exp.report(result))
+    assert len(result.rows) == 5

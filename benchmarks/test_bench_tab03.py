@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 3 (buffer storage allocation on ZCU104)."""
+
+from repro.experiments import tab03_buffer_config as exp
+
+
+def test_bench_tab03_buffer_config(benchmark, show):
+    result = benchmark(exp.run)
+    show(exp.report(result))
+    assert result.allocation_kb["with_pb_kb"]["PB"] > 0
+    assert result.allocation_kb["without_pb_kb"]["PB"] == 0

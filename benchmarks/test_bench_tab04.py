@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 4 (reuse comparison matrix)."""
+
+from repro.experiments import tab04_reuse as exp
+
+
+def test_bench_tab04_reuse(benchmark, show):
+    result = benchmark(exp.run)
+    show(exp.report(result))
+    assert result.rows["SUSHI"]["SubGraph Reuse (spatial)"] == "yes"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 5 (latency improvement vs latency-table size)."""
+
+import pytest
+
+from repro.experiments import tab05_table_size as exp
+
+
+@pytest.mark.parametrize("supernet", ["ofa_resnet50", "ofa_mobilenetv3"])
+def test_bench_tab05_table_size(benchmark, show, supernet):
+    result = benchmark(exp.run, supernet, column_counts=(10, 40, 80, 100), num_queries=100)
+    show(exp.report(result))
+    assert set(result.improvements_percent) == {10, 40, 80, 100}

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 6 (latency-table lookup time)."""
+
+from repro.experiments import tab06_lookup_time as exp
+
+
+def test_bench_tab06_lookup_time(benchmark, show):
+    result = benchmark(exp.run, column_counts=(100, 200, 500, 1000, 2000), lookups_per_size=200)
+    show(exp.report(result))
+    # Lookups must stay far below one inference (paper: < 1/1000).
+    assert result.max_lookup_fraction_of_inference() < 0.05

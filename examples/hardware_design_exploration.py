@@ -1,0 +1,88 @@
+"""Hardware design exploration: sizing the Persistent Buffer.
+
+An accelerator architect adopting SubGraph Stationary caching has to decide
+how much of the on-chip storage budget to dedicate to the Persistent Buffer,
+given an off-chip bandwidth and a compute budget (Section 5.3 of the paper).
+This example walks the public accelerator-model API:
+
+1. roofline analysis of the Pareto family (which SubNets are memory bound),
+2. a design-space sweep over PB size / bandwidth / throughput (Fig. 12),
+3. FPGA resource and buffer-allocation estimates for the chosen design
+   (Tables 2 and 3).
+
+Run with::
+
+    python examples/hardware_design_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.accelerator import (
+    ANALYTIC_DEFAULT,
+    ZCU104,
+    DesignSpaceExplorer,
+    RooflineModel,
+    buffer_allocation_table,
+    estimate_resources,
+)
+from repro.analysis.reporting import format_table
+from repro.supernet import load_supernet, paper_pareto_subnets
+
+
+def main() -> None:
+    supernet = load_supernet("ofa_resnet50")
+    subnets = paper_pareto_subnets(supernet)
+
+    # 1. Roofline: where does the family sit relative to the ridge point?
+    roofline = RooflineModel(ANALYTIC_DEFAULT)
+    rows = {
+        sn.name: {
+            "arithmetic intensity (FLOPs/B)": roofline.subnet_intensity(sn),
+            "attainable TFLOPS": roofline.subnet_point(sn).attainable_tflops,
+            "compute bound": roofline.subnet_point(sn).is_compute_bound,
+        }
+        for sn in subnets
+    }
+    print(format_table(rows, title=f"Roofline (ridge {roofline.ridge_point:.1f} FLOPs/B)"))
+
+    # 2. DSE: how much latency does each PB size buy at each bandwidth?
+    explorer = DesignSpaceExplorer(subnets, base_platform=ANALYTIC_DEFAULT)
+    points = explorer.sweep(
+        pb_kb_values=(512, 1024, 1728, 3456, 6912),
+        bandwidth_values_gbps=(9.6, 19.2, 38.4),
+        macs_per_cycle_values=(6480,),
+    )
+    dse_rows = {
+        f"PB={p.pb_kb:.0f}KB @ {p.bandwidth_gbps:.1f}GB/s": {
+            "latency w/o PB (ms)": p.mean_latency_no_pb_ms,
+            "latency w/ PB (ms)": p.mean_latency_with_pb_ms,
+            "time save %": p.time_save_percent,
+        }
+        for p in points
+    }
+    best = explorer.best_point(points)
+    print()
+    print(format_table(dse_rows, title="Design-space exploration (Fig. 12 style)"))
+    print(
+        f"\nBest configuration: PB={best.pb_kb:.0f} KB at {best.bandwidth_gbps:.1f} GB/s "
+        f"saves {best.time_save_percent:.1f}% latency."
+    )
+
+    # 3. What does the chosen design cost on a real device?
+    resource_rows = {
+        "SushiAccel w/o PB (ZCU104)": estimate_resources(ZCU104, with_pb=False).as_row(),
+        "SushiAccel w/ PB (ZCU104)": estimate_resources(ZCU104, with_pb=True).as_row(),
+    }
+    print()
+    print(format_table(resource_rows, title="Estimated FPGA resources (Table 2 style)"))
+    allocation = buffer_allocation_table(ZCU104)
+    alloc_rows = {
+        buf: {cfg: allocation[cfg][buf] for cfg in allocation}
+        for buf in next(iter(allocation.values()))
+    }
+    print()
+    print(format_table(alloc_rows, title="On-chip buffer allocation in KB (Table 3 style)"))
+
+
+if __name__ == "__main__":
+    main()

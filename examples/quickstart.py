@@ -1,0 +1,58 @@
+"""Quickstart: serve a random query stream with SUSHI and compare baselines.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. build the three serving systems (No-SUSHI, SUSHI w/o scheduler, SUSHI)
+   over the OFA-MobileNetV3 Pareto family on the paper's analytic platform,
+2. generate a random query stream with (accuracy, latency) constraints,
+3. serve it through all three systems and print the headline comparison.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_kv, format_table
+from repro.core.policies import Policy
+from repro.serving import ExperimentRunner
+
+
+def main() -> None:
+    runner = ExperimentRunner(
+        "ofa_mobilenetv3",
+        policy=Policy.STRICT_ACCURACY,
+        cache_update_period=4,
+        seed=0,
+    )
+    trace = runner.default_workload(num_queries=200)
+    results, summary = runner.compare(trace)
+
+    rows = {
+        name: {
+            "mean latency (ms)": stream.metrics.mean_latency_ms,
+            "p99 latency (ms)": stream.metrics.p99_latency_ms,
+            "mean accuracy (%)": 100 * stream.metrics.mean_accuracy,
+            "off-chip energy (mJ)": stream.metrics.total_offchip_energy_mj,
+            "cache hit ratio": stream.metrics.mean_cache_hit_ratio,
+        }
+        for name, stream in results.items()
+    }
+    print(format_table(rows, title=f"Serving {len(trace)} random queries on OFA-MobileNetV3"))
+    print()
+    print(format_kv(summary.as_dict(), title="SUSHI vs baselines (headline)"))
+
+    # Show a few individual scheduling decisions.
+    print("\nFirst five queries served by SUSHI:")
+    for record in results["sushi"].records[:5]:
+        print(
+            f"  q{record.query_index}: constraint (acc >= {record.accuracy_constraint:.3f}, "
+            f"lat <= {record.latency_constraint_ms:.2f} ms) -> SubNet {record.subnet_name}, "
+            f"served {record.served_latency_ms:.2f} ms at {100 * record.served_accuracy:.2f}% "
+            f"(PB hit ratio {record.cache_hit_ratio:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment this reproduction targets is fully offline and ships an older
+setuptools without the ``wheel`` package, so PEP 660 editable installs are not
+available.  Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""SushiAccel: structural/analytic model of the SGS-aware accelerator.
+
+The paper implements SushiAccel on two FPGAs and additionally ships an
+analytic model used for roofline study and design-space exploration.  This
+subpackage reproduces the analytic model in Python: a DPE compute array,
+the on-chip buffer hierarchy (Persistent Buffer, ping-pong Dynamic Buffers,
+Streaming/Line/Output/ZP-Scale buffers), an off-chip DRAM model, and the
+dataflow that composes them into per-layer and per-query latency and energy
+estimates — with and without SubGraph-Stationary caching.
+"""
+
+from repro.accelerator.platforms import (
+    PlatformConfig,
+    ANALYTIC_DEFAULT,
+    ZCU104,
+    ALVEO_U50,
+    CPU_I7_10750H,
+    XILINX_DPU_ZCU104,
+    platform_by_name,
+)
+from repro.accelerator.dpe import DPEArrayConfig
+from repro.accelerator.dram import DRAMModel
+from repro.accelerator.buffers import BufferSpec, BufferHierarchy, bandwidth_requirements
+from repro.accelerator.tiling import WeightTile, tile_layer
+from repro.accelerator.dataflow import LayerLatency, layer_latency
+from repro.accelerator.persistent_buffer import PersistentBuffer, CachedSubGraph
+from repro.accelerator.analytic_model import (
+    SushiAccelModel,
+    SubNetLatencyBreakdown,
+    LatencyComponents,
+)
+from repro.accelerator.roofline import RooflineModel, RooflinePoint
+from repro.accelerator.dse import DesignPoint, DesignSpaceExplorer
+from repro.accelerator.cpu_model import CPUModel
+from repro.accelerator.dpu_model import XilinxDPUModel
+from repro.accelerator.resources import ResourceEstimate, estimate_resources, buffer_allocation_table
+from repro.accelerator.reuse_matrix import REUSE_COMPARISON, reuse_comparison_table
+
+__all__ = [
+    "PlatformConfig",
+    "ANALYTIC_DEFAULT",
+    "ZCU104",
+    "ALVEO_U50",
+    "CPU_I7_10750H",
+    "XILINX_DPU_ZCU104",
+    "platform_by_name",
+    "DPEArrayConfig",
+    "DRAMModel",
+    "BufferSpec",
+    "BufferHierarchy",
+    "bandwidth_requirements",
+    "WeightTile",
+    "tile_layer",
+    "LayerLatency",
+    "layer_latency",
+    "PersistentBuffer",
+    "CachedSubGraph",
+    "SushiAccelModel",
+    "SubNetLatencyBreakdown",
+    "LatencyComponents",
+    "RooflineModel",
+    "RooflinePoint",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "CPUModel",
+    "XilinxDPUModel",
+    "ResourceEstimate",
+    "estimate_resources",
+    "buffer_allocation_table",
+    "REUSE_COMPARISON",
+    "reuse_comparison_table",
+]

@@ -1,0 +1,73 @@
+"""CPU baseline latency model (Intel i7-10750H in the paper's Fig. 13a).
+
+A simple roofline-style per-layer model: each layer runs at
+``min(effective_cpu_gflops, AI x memory_bandwidth)`` with an efficiency factor
+reflecting that general-purpose cores sustain only a fraction of peak on int8
+convolutions.  The goal is a baseline whose *relative* position matches the
+paper — SushiAccel achieves roughly 1.4-3.2x speedups over it depending on
+SubNet size and board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.platforms import CPU_I7_10750H, PlatformConfig
+from repro.supernet.layers import ConvLayerSpec, LayerKind
+from repro.supernet.subnet import SubNet
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """Roofline-style CPU latency model.
+
+    Attributes
+    ----------
+    platform:
+        CPU platform configuration (clock, SIMD lanes, memory bandwidth).
+    compute_efficiency:
+        Fraction of peak GFLOPS sustained on convolution kernels.
+    memory_efficiency:
+        Fraction of peak DRAM bandwidth sustained.
+    framework_overhead_ms:
+        Fixed per-query software overhead (framework dispatch, im2col, ...).
+    """
+
+    platform: PlatformConfig = CPU_I7_10750H
+    compute_efficiency: float = 0.20
+    memory_efficiency: float = 0.60
+    framework_overhead_ms: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not (0 < self.compute_efficiency <= 1):
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not (0 < self.memory_efficiency <= 1):
+            raise ValueError("memory_efficiency must be in (0, 1]")
+
+    @property
+    def effective_gflops(self) -> float:
+        return self.platform.peak_gflops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        return self.platform.off_chip_bandwidth_gbps * self.memory_efficiency
+
+    # ------------------------------------------------------------ latency
+    def layer_latency_ms(self, layer: ConvLayerSpec) -> float:
+        """Latency of one layer: the slower of its compute and memory times."""
+        if layer.kind == LayerKind.POOL or layer.flops == 0:
+            return 0.0
+        compute_ms = layer.flops / (self.effective_gflops * 1e9) * 1e3
+        bytes_moved = layer.total_data_bytes
+        memory_ms = bytes_moved / (self.effective_bandwidth_gbps * 1e9) * 1e3
+        # Depthwise convolutions vectorize poorly on CPUs as well, but less
+        # catastrophically than on a channel-parallel DPE array.
+        if layer.kind == LayerKind.DEPTHWISE_CONV:
+            compute_ms *= 1.5
+        return max(compute_ms, memory_ms)
+
+    def subnet_latency_ms(self, subnet: SubNet) -> float:
+        """End-to-end CPU serving latency of one query on ``subnet``."""
+        return self.framework_overhead_ms + sum(
+            self.layer_latency_ms(layer) for layer in subnet.active_layers()
+        )

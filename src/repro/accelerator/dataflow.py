@@ -1,0 +1,193 @@
+"""Per-layer dataflow latency model.
+
+Combines the DPE compute model, the DRAM model and the buffer hierarchy into
+the per-convolution-layer latency estimate of SushiAccel's analytic model
+(Section 5.1 "Architecture Analytic Model").  The model captures the dataflow
+properties the paper's results rest on:
+
+* **Activation residency.**  The Streaming Buffer holds entire input
+  activations and the Output Buffer accumulates final oActs (Fig. 7), so
+  intermediate activations that fit on chip never cross the DRAM interface;
+  only the query image, the final output, and activations too large for the
+  SB/OB spill off-chip.  Off-chip traffic is therefore dominated by weights,
+  which is what makes SubGraph Stationary caching pay off.
+* **Partial weight-prefetch hiding** (Fig. 9b).  The ping-pong Dynamic Buffer
+  prefetches the next weight tile while the current one computes, but the
+  off-chip interface is shared with activation spills and the prefetch window
+  is bounded by the DB capacity, so only a fraction
+  (``weight_overlap_fraction``) of a layer's compute time is available for
+  hiding weight traffic.  The remainder of the weight stream is exposed on
+  the critical path — the "Critical Latency in Off-chip Weights Mem Access"
+  slice of Fig. 10 — and it is exactly this exposed portion that SGS caching
+  removes.
+* **SubGraph reuse** (Fig. 9a).  Weight bytes resident in the Persistent
+  Buffer are read from on-chip storage at the (much higher) on-chip
+  bandwidth instead of being fetched from DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.dpe import DPEArrayConfig
+from repro.accelerator.dram import DRAMModel
+from repro.accelerator.tiling import first_tile_bytes
+from repro.supernet.layers import ConvLayerSpec, LayerKind
+
+#: Fraction of a layer's compute time during which the off-chip interface is
+#: free to prefetch weights into the ping-pong Dynamic Buffer.  Calibrated so
+#: the exposed-weight share of end-to-end latency matches Fig. 10.
+DEFAULT_WEIGHT_OVERLAP_FRACTION: float = 0.1
+
+
+@dataclass(frozen=True)
+class LayerLatency:
+    """Latency decomposition of one layer, in accelerator cycles.
+
+    ``total_cycles`` is what the layer contributes to the end-to-end critical
+    path; the remaining fields decompose it into the categories plotted in
+    Fig. 10 (compute, off-chip iAct / weight / oAct access, on-chip weight
+    access).
+    """
+
+    layer_name: str
+    compute_cycles: float
+    exposed_iact_cycles: float
+    exposed_weight_cycles: float
+    exposed_oact_cycles: float
+    onchip_weight_cycles: float
+    offchip_bytes: float
+    onchip_weight_bytes: float
+    cached_weight_bytes: float
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.compute_cycles
+            + self.exposed_iact_cycles
+            + self.exposed_weight_cycles
+            + self.exposed_oact_cycles
+            + self.onchip_weight_cycles
+        )
+
+    @property
+    def exposed_memory_cycles(self) -> float:
+        return self.total_cycles - self.compute_cycles
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """True when exposed off-chip time dominates this layer."""
+        return self.exposed_memory_cycles > self.compute_cycles
+
+
+def layer_latency(
+    layer: ConvLayerSpec,
+    dpe: DPEArrayConfig,
+    dram: DRAMModel,
+    *,
+    cached_weight_bytes: float = 0.0,
+    onchip_bandwidth_bytes_per_cycle: float = 512.0,
+    sb_capacity_bytes: int | None = None,
+    ob_capacity_bytes: int | None = None,
+    is_first_layer: bool = False,
+    is_last_layer: bool = False,
+    weight_overlap_fraction: float = DEFAULT_WEIGHT_OVERLAP_FRACTION,
+) -> LayerLatency:
+    """Latency of one layer given how many of its weight bytes are SGS-cached.
+
+    Parameters
+    ----------
+    layer:
+        The layer at its activated channel counts.
+    cached_weight_bytes:
+        Weight bytes of this layer resident in the Persistent Buffer (clamped
+        to the layer's weight footprint).
+    onchip_bandwidth_bytes_per_cycle:
+        Read bandwidth of the PB; cached weights are streamed at this rate.
+    sb_capacity_bytes / ob_capacity_bytes:
+        Streaming / Output buffer capacities.  Activations larger than the
+        corresponding buffer spill off-chip; ``None`` means "always fits".
+    is_first_layer / is_last_layer:
+        The first layer always reads the query image from DRAM and the last
+        layer always writes the result back.
+    weight_overlap_fraction:
+        Fraction of compute time usable to hide off-chip weight prefetch.
+    """
+    if layer.kind == LayerKind.POOL:
+        return LayerLatency(
+            layer_name=layer.name,
+            compute_cycles=0.0,
+            exposed_iact_cycles=0.0,
+            exposed_weight_cycles=0.0,
+            exposed_oact_cycles=0.0,
+            onchip_weight_cycles=0.0,
+            offchip_bytes=0.0,
+            onchip_weight_bytes=0.0,
+            cached_weight_bytes=0.0,
+        )
+    if not (0.0 <= weight_overlap_fraction <= 1.0):
+        raise ValueError("weight_overlap_fraction must be in [0, 1]")
+
+    cached = float(min(max(cached_weight_bytes, 0.0), layer.weight_bytes))
+    distinct_weight_bytes = layer.weight_bytes - cached
+
+    # Activation spill decisions.
+    iact_spills = is_first_layer or (
+        sb_capacity_bytes is not None and layer.input_act_bytes > sb_capacity_bytes
+    )
+    oact_spills = is_last_layer or (
+        ob_capacity_bytes is not None and layer.output_act_bytes > ob_capacity_bytes
+    )
+    iact_bytes = float(layer.input_act_bytes) if iact_spills else 0.0
+    oact_bytes = float(layer.output_act_bytes) if oact_spills else 0.0
+
+    compute = float(dpe.compute_cycles(layer))
+
+    # Off-chip streams.
+    weight_cycles = dram.transfer_cycles(distinct_weight_bytes)
+    iact_cycles = dram.transfer_cycles(iact_bytes)
+    oact_cycles = dram.transfer_cycles(oact_bytes)
+    offchip_bytes = distinct_weight_bytes + iact_bytes + oact_bytes
+
+    # Weight prefetch: hidden up to a fraction of the compute time, except the
+    # first tile which must land before the array starts.
+    prologue_weight = dram.transfer_cycles(
+        min(first_tile_bytes(layer, dpe), distinct_weight_bytes)
+    )
+    hideable = weight_overlap_fraction * compute
+    exposed_weight = prologue_weight + max(0.0, weight_cycles - prologue_weight - hideable)
+    exposed_weight = min(exposed_weight, weight_cycles)
+
+    # Activation spills are streamed; they overlap compute up to the compute
+    # time not already consumed by weight prefetch.
+    act_hideable = max(0.0, compute - min(weight_cycles, hideable))
+    act_cycles = iact_cycles + oact_cycles
+    exposed_act = max(0.0, act_cycles - act_hideable)
+    if act_cycles > 0:
+        exposed_iact = exposed_act * (iact_cycles / act_cycles)
+        exposed_oact = exposed_act * (oact_cycles / act_cycles)
+    else:
+        exposed_iact = exposed_oact = 0.0
+
+    # Cached weights stream from the PB at on-chip bandwidth; only the first
+    # tile read is exposed (the rest overlaps compute).
+    if cached > 0 and onchip_bandwidth_bytes_per_cycle > 0:
+        onchip_cycles_raw = cached / onchip_bandwidth_bytes_per_cycle
+        onchip_exposed = min(
+            onchip_cycles_raw,
+            first_tile_bytes(layer, dpe) / onchip_bandwidth_bytes_per_cycle,
+        ) + max(0.0, onchip_cycles_raw - compute)
+    else:
+        onchip_exposed = 0.0
+
+    return LayerLatency(
+        layer_name=layer.name,
+        compute_cycles=compute,
+        exposed_iact_cycles=exposed_iact,
+        exposed_weight_cycles=exposed_weight,
+        exposed_oact_cycles=exposed_oact,
+        onchip_weight_cycles=onchip_exposed,
+        offchip_bytes=offchip_bytes,
+        onchip_weight_bytes=cached,
+        cached_weight_bytes=cached,
+    )

@@ -1,0 +1,79 @@
+"""Xilinx DPU (DPUCZDX8G) baseline latency model (Fig. 14 / Tab. 2).
+
+The DPU is a weight/output-stationary accelerator with 2304 ops/cycle on
+ZCU104.  Compared with SushiAccel it spreads more of its parallelism across
+the spatial (X/Y) dimensions and less across kernels/channels, and it has no
+Persistent Buffer.  The paper reports SushiAccel w/o PB is on average ~25 %
+faster (geometric mean) on ResNet50's 3x3 convolutions, with the DPU winning
+on a few layers whose large spatial extents favour its X/Y parallelism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accelerator.dram import DRAMModel
+from repro.accelerator.platforms import XILINX_DPU_ZCU104, PlatformConfig
+from repro.supernet.layers import ConvLayerSpec, LayerKind
+from repro.supernet.subnet import SubNet
+
+
+@dataclass(frozen=True)
+class XilinxDPUModel:
+    """Analytic per-layer latency model of the Xilinx DPU.
+
+    Attributes
+    ----------
+    platform:
+        DPU platform configuration.
+    pixel_parallelism:
+        Output pixels processed in parallel (the DPU's X/Y-dimension
+        parallelism; DPUCZDX8G-B4096 processes 8 pixels per cycle).
+    kernel_parallelism / channel_parallelism:
+        Kernels and input channels processed in parallel.
+    scheduling_overhead_cycles:
+        Per-layer instruction-fetch / scheduling overhead.
+    """
+
+    platform: PlatformConfig = XILINX_DPU_ZCU104
+    pixel_parallelism: int = 8
+    kernel_parallelism: int = 12
+    channel_parallelism: int = 12
+    scheduling_overhead_cycles: float = 2_500.0
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.pixel_parallelism * self.kernel_parallelism * self.channel_parallelism
+
+    def _dram(self) -> DRAMModel:
+        return DRAMModel.from_platform(self.platform)
+
+    # ------------------------------------------------------------ latency
+    def layer_compute_cycles(self, layer: ConvLayerSpec) -> float:
+        """Compute cycles of one layer on the DPU's X/Y/K/C-parallel array."""
+        if layer.kind == LayerKind.POOL or layer.macs == 0:
+            return 0.0
+        out_pixels = layer.output_hw * layer.output_hw
+        pixel_passes = math.ceil(out_pixels / self.pixel_parallelism)
+        kernel_passes = math.ceil(layer.out_channels / self.kernel_parallelism)
+        if layer.kind == LayerKind.DEPTHWISE_CONV:
+            # No cross-channel reduction: channel parallelism is unusable.
+            channel_passes = 1
+            kernel_work = layer.kernel_size**2
+        else:
+            per_group_in = layer.in_channels // layer.groups
+            channel_passes = math.ceil(per_group_in / self.channel_parallelism)
+            kernel_work = layer.kernel_size**2
+        return pixel_passes * kernel_passes * channel_passes * kernel_work
+
+    def layer_latency_ms(self, layer: ConvLayerSpec) -> float:
+        """Per-layer latency: compute overlapped with off-chip traffic."""
+        dram = self._dram()
+        compute = self.layer_compute_cycles(layer) + self.scheduling_overhead_cycles
+        mem = dram.transfer_cycles(layer.total_data_bytes)
+        return dram.cycles_to_ms(max(compute, mem))
+
+    def subnet_latency_ms(self, subnet: SubNet) -> float:
+        """End-to-end DPU latency of one query on ``subnet``."""
+        return sum(self.layer_latency_ms(layer) for layer in subnet.active_layers())

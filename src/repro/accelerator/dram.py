@@ -1,0 +1,95 @@
+"""Off-chip DRAM model: transfer latency and access energy.
+
+Data movement between DRAM and the on-chip buffers dominates both latency (for
+memory-bound layers) and energy (Section 5.4.3 of the paper estimates energy
+purely from off-chip access counts).  This model converts byte counts into
+cycles at a configured bandwidth and into energy with per-byte coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accelerator.platforms import (
+    DEFAULT_DRAM_PJ_PER_BYTE,
+    DEFAULT_SRAM_PJ_PER_BYTE,
+    PlatformConfig,
+)
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Bandwidth/energy model of the off-chip memory system.
+
+    Attributes
+    ----------
+    bandwidth_gbps:
+        Sustained off-chip bandwidth in GB/s.
+    clock_mhz:
+        Accelerator clock used to express transfers in cycles.
+    burst_bytes:
+        Minimum transfer granularity; small transfers are rounded up to it
+        (models DRAM burst/row effects coarsely).
+    dram_pj_per_byte / sram_pj_per_byte:
+        Access energy coefficients for off-chip and on-chip transfers.
+    """
+
+    bandwidth_gbps: float
+    clock_mhz: float
+    burst_bytes: int = 64
+    dram_pj_per_byte: float = DEFAULT_DRAM_PJ_PER_BYTE
+    sram_pj_per_byte: float = DEFAULT_SRAM_PJ_PER_BYTE
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock must be positive")
+        if self.burst_bytes <= 0:
+            raise ValueError("burst_bytes must be positive")
+
+    @classmethod
+    def from_platform(cls, platform: PlatformConfig) -> "DRAMModel":
+        """Build the DRAM model implied by a platform configuration.
+
+        Uses the platform's *effective* bandwidth (nominal divided by the
+        DRAM contention factor) so shared-host boards like the Alveo U50 see
+        their degraded bandwidth.
+        """
+        return cls(
+            bandwidth_gbps=platform.effective_bandwidth_gbps,
+            clock_mhz=platform.clock_mhz,
+            dram_pj_per_byte=platform.dram_pj_per_byte,
+            sram_pj_per_byte=platform.sram_pj_per_byte,
+        )
+
+    # ------------------------------------------------------------ latency
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Off-chip bytes deliverable per accelerator clock cycle."""
+        return self.bandwidth_gbps * 1e9 / (self.clock_mhz * 1e6)
+
+    def transfer_cycles(self, nbytes: float) -> float:
+        """Cycles to move ``nbytes`` over the off-chip interface."""
+        if nbytes <= 0:
+            return 0.0
+        effective = math.ceil(nbytes / self.burst_bytes) * self.burst_bytes
+        return effective / self.bytes_per_cycle
+
+    def transfer_ms(self, nbytes: float) -> float:
+        """Milliseconds to move ``nbytes`` off-chip."""
+        return self.cycles_to_ms(self.transfer_cycles(nbytes))
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert accelerator cycles to milliseconds."""
+        return cycles / (self.clock_mhz * 1e3)
+
+    # ------------------------------------------------------------- energy
+    def off_chip_energy_mj(self, nbytes: float) -> float:
+        """Energy (mJ) of moving ``nbytes`` across the off-chip interface."""
+        return max(nbytes, 0.0) * self.dram_pj_per_byte * 1e-9
+
+    def on_chip_energy_mj(self, nbytes: float) -> float:
+        """Energy (mJ) of reading ``nbytes`` from on-chip SRAM buffers."""
+        return max(nbytes, 0.0) * self.sram_pj_per_byte * 1e-9

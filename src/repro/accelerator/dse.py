@@ -1,0 +1,161 @@
+"""Design-space exploration of SushiAccel configurations (Fig. 12).
+
+Sweeps the three main hardware knobs — Persistent Buffer size, off-chip
+bandwidth and compute throughput (DPE-array parallelism) — and reports the
+latency reduction ("Time Save %") that SGS caching yields for a Pareto SubNet
+family, reproducing the trends of Fig. 12: larger PB, more compute and *less*
+off-chip bandwidth all increase the relative benefit of SubGraph Stationary,
+and the benefit is smaller for MobileNetV3 than ResNet50.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.persistent_buffer import CachedSubGraph, PersistentBuffer
+from repro.accelerator.platforms import ANALYTIC_DEFAULT, PlatformConfig
+from repro.supernet.subnet import SubNet
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated hardware configuration and its SGS benefit."""
+
+    pb_kb: float
+    bandwidth_gbps: float
+    macs_per_cycle: int
+    mean_latency_no_pb_ms: float
+    mean_latency_with_pb_ms: float
+
+    @property
+    def time_save_percent(self) -> float:
+        """Latency reduction of w/-PB relative to w/o-PB, in percent."""
+        if self.mean_latency_no_pb_ms <= 0:
+            return 0.0
+        return (
+            100.0
+            * (self.mean_latency_no_pb_ms - self.mean_latency_with_pb_ms)
+            / self.mean_latency_no_pb_ms
+        )
+
+
+def _scaled_parallelism(base: PlatformConfig, macs_per_cycle: int) -> tuple[int, int]:
+    """Pick (kp, cp) whose product x dpe_size approximates a MACs/cycle target."""
+    dpes_needed = max(1, round(macs_per_cycle / base.dpe_size))
+    kp = max(1, int(round(math.sqrt(dpes_needed))))
+    cp = max(1, dpes_needed // kp)
+    return kp, cp
+
+
+class DesignSpaceExplorer:
+    """Exhaustive sweep over (PB size, bandwidth, throughput) configurations."""
+
+    def __init__(
+        self,
+        subnets: Sequence[SubNet],
+        *,
+        base_platform: PlatformConfig = ANALYTIC_DEFAULT,
+    ) -> None:
+        if not subnets:
+            raise ValueError("DSE needs at least one SubNet")
+        self.subnets = list(subnets)
+        self.base_platform = base_platform
+        # Best-case SGS locality, as in Fig. 10/12: each SubNet is served with
+        # (a truncation of) its own SubGraph resident in the PB — the state a
+        # stream of queries hitting the same Pareto region converges to.
+        self._self_subgraphs = [CachedSubGraph.from_subnet(sn) for sn in self.subnets]
+
+    # ------------------------------------------------------------ evaluate
+    def evaluate(
+        self,
+        *,
+        pb_kb: float,
+        bandwidth_gbps: float | None = None,
+        macs_per_cycle: int | None = None,
+    ) -> DesignPoint:
+        """Evaluate one configuration: mean Pareto-family latency w/ and w/o PB."""
+        platform = self.base_platform
+        if bandwidth_gbps is not None or macs_per_cycle is not None:
+            kp, cp = (
+                _scaled_parallelism(platform, macs_per_cycle)
+                if macs_per_cycle is not None
+                else (platform.kp, platform.cp)
+            )
+            platform = platform.scaled(
+                bandwidth_gbps=bandwidth_gbps or platform.off_chip_bandwidth_gbps,
+                kp=kp,
+                cp=cp,
+            )
+        # The DSE explores hypothetical hardware: when the requested PB exceeds
+        # what the base budget can host, grow the total on-chip budget so the
+        # PB axis of the sweep is not silently clipped.
+        min_other_kb = 1024.0
+        if pb_kb + min_other_kb > platform.total_buffer_kb:
+            platform = dataclasses.replace(
+                platform, total_buffer_kb=pb_kb + 2 * min_other_kb, pb_kb=pb_kb
+            )
+        else:
+            platform = platform.with_pb(pb_kb)
+
+        model_no_pb = SushiAccelModel(platform, with_pb=False)
+        no_pb = float(
+            np.mean([model_no_pb.subnet_latency_ms(sn) for sn in self.subnets])
+        )
+
+        if pb_kb <= 0:
+            with_pb = no_pb
+        else:
+            model_pb = SushiAccelModel(platform, with_pb=True)
+            pb = model_pb.make_persistent_buffer()
+            with_pb = float(
+                np.mean(
+                    [
+                        model_pb.subnet_latency_ms(sn, pb.fit_subgraph(sg))
+                        for sn, sg in zip(self.subnets, self._self_subgraphs)
+                    ]
+                )
+            )
+
+        return DesignPoint(
+            pb_kb=pb_kb,
+            bandwidth_gbps=platform.off_chip_bandwidth_gbps,
+            macs_per_cycle=platform.macs_per_cycle,
+            mean_latency_no_pb_ms=no_pb,
+            mean_latency_with_pb_ms=with_pb,
+        )
+
+    # --------------------------------------------------------------- sweeps
+    def sweep(
+        self,
+        *,
+        pb_kb_values: Iterable[float] = (256, 512, 1024, 1728, 2560, 4096),
+        bandwidth_values_gbps: Iterable[float] = (9.6, 14.4, 19.2, 25.6),
+        macs_per_cycle_values: Iterable[int] | None = None,
+    ) -> list[DesignPoint]:
+        """Full cartesian sweep (the Fig. 12 exploration)."""
+        macs_values = (
+            list(macs_per_cycle_values)
+            if macs_per_cycle_values is not None
+            else [self.base_platform.macs_per_cycle]
+        )
+        points = []
+        for pb_kb in pb_kb_values:
+            for bw in bandwidth_values_gbps:
+                for macs in macs_values:
+                    points.append(
+                        self.evaluate(
+                            pb_kb=pb_kb, bandwidth_gbps=bw, macs_per_cycle=macs
+                        )
+                    )
+        return points
+
+    def best_point(self, points: Sequence[DesignPoint] | None = None) -> DesignPoint:
+        """The configuration with the highest SGS latency saving."""
+        pts = list(points) if points is not None else self.sweep()
+        return max(pts, key=lambda p: p.time_save_percent)

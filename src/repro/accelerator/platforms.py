@@ -1,0 +1,246 @@
+"""Deployment platform configurations.
+
+The paper evaluates SushiAccel on a Xilinx ZCU104 (embedded, 5 W), an Alveo
+U50 (data-center, 75 W), against an Intel i7-10750H CPU and the Xilinx DPU,
+plus an "analytic model" configuration (19.2 GB/s, 1.296 TFLOPS @ 100 MHz)
+used for the roofline and DSE studies.  Each configuration pins down the
+compute-array parallelism, clock, off-chip bandwidth, on-chip buffer budget
+and energy coefficients the analytic model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Typical off-chip DRAM access energy per byte (pJ).  Absolute values only
+#: scale the energy axis; all paper comparisons are relative (w/ PB vs w/o).
+DEFAULT_DRAM_PJ_PER_BYTE: float = 160.0
+
+#: Typical on-chip SRAM (BRAM/URAM) access energy per byte (pJ).
+DEFAULT_SRAM_PJ_PER_BYTE: float = 1.5
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything the analytic model needs to know about a deployment target.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    clock_mhz:
+        Accelerator clock.
+    kp, cp:
+        Kernel-level and channel-level parallelism of the DPE array
+        (``KP x CP`` DPEs of 9 multipliers each).
+    dpe_size:
+        Multipliers per DPE (the paper uses fixed-size 9).
+    off_chip_bandwidth_gbps:
+        Off-chip DRAM bandwidth in GB/s.
+    on_chip_bandwidth_bytes_per_cycle:
+        Aggregate read bandwidth of the on-chip buffers feeding the array.
+    total_buffer_kb:
+        Total on-chip storage budget (BRAM + URAM) in KB.
+    pb_kb:
+        Persistent Buffer capacity in KB (0 disables SGS caching).
+    dram_pj_per_byte, sram_pj_per_byte:
+        Energy coefficients for off-chip / on-chip accesses.
+    board_power_w:
+        Nominal board power (reporting only).
+    """
+
+    name: str
+    clock_mhz: float
+    kp: int
+    cp: int
+    dpe_size: int = 9
+    off_chip_bandwidth_gbps: float = 19.2
+    on_chip_bandwidth_bytes_per_cycle: float = 512.0
+    total_buffer_kb: float = 3853.0
+    pb_kb: float = 0.0
+    dram_pj_per_byte: float = DEFAULT_DRAM_PJ_PER_BYTE
+    sram_pj_per_byte: float = DEFAULT_SRAM_PJ_PER_BYTE
+    board_power_w: float = 0.0
+    dram_contention_factor: float = 1.0
+    query_overhead_cycles: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.dram_contention_factor < 1.0:
+            raise ValueError(f"{self.name}: dram_contention_factor must be >= 1")
+        if self.query_overhead_cycles < 0:
+            raise ValueError(f"{self.name}: query_overhead_cycles must be >= 0")
+        if self.clock_mhz <= 0:
+            raise ValueError(f"{self.name}: clock must be positive")
+        if self.kp <= 0 or self.cp <= 0 or self.dpe_size <= 0:
+            raise ValueError(f"{self.name}: DPE array dimensions must be positive")
+        if self.off_chip_bandwidth_gbps <= 0:
+            raise ValueError(f"{self.name}: off-chip bandwidth must be positive")
+        if self.pb_kb < 0 or self.total_buffer_kb <= 0:
+            raise ValueError(f"{self.name}: buffer sizes must be non-negative")
+        if self.pb_kb > self.total_buffer_kb:
+            raise ValueError(
+                f"{self.name}: PB ({self.pb_kb} KB) cannot exceed the total "
+                f"on-chip budget ({self.total_buffer_kb} KB)"
+            )
+
+    # ------------------------------------------------------------ derived
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak multiply-accumulates per cycle of the DPE array."""
+        return self.kp * self.cp * self.dpe_size
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak throughput in GFLOPS (2 ops per MAC)."""
+        return 2.0 * self.macs_per_cycle * self.clock_mhz / 1e3
+
+    @property
+    def peak_tflops(self) -> float:
+        return self.peak_gflops / 1e3
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.clock_mhz * 1e6
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        """Nominal bandwidth divided by the DRAM contention factor.
+
+        The Alveo U50 sits in a data-center host whose DRAM is shared with
+        other tenants; the paper attributes its poor small-SubNet latency to
+        this competition (Section 5.4.2).
+        """
+        return self.off_chip_bandwidth_gbps / self.dram_contention_factor
+
+    @property
+    def off_chip_bytes_per_cycle(self) -> float:
+        """Off-chip bandwidth expressed per accelerator clock cycle."""
+        return self.effective_bandwidth_gbps * 1e9 / self.cycles_per_second
+
+    @property
+    def pb_bytes(self) -> int:
+        return int(self.pb_kb * 1024)
+
+    @property
+    def has_pb(self) -> bool:
+        return self.pb_kb > 0
+
+    # ------------------------------------------------------------ variants
+    def without_pb(self) -> "PlatformConfig":
+        """The same platform with the Persistent Buffer disabled.
+
+        The freed storage is *not* handed to the other buffers: the paper's
+        w/-vs-w/o-PB comparison keeps total on-chip storage equal (Tab. 3),
+        so only the SGS capability changes.
+        """
+        return replace(self, name=f"{self.name}-noPB", pb_kb=0.0)
+
+    def with_pb(self, pb_kb: float) -> "PlatformConfig":
+        """The same platform with a differently sized Persistent Buffer."""
+        return replace(self, pb_kb=pb_kb)
+
+    def scaled(
+        self,
+        *,
+        bandwidth_gbps: float | None = None,
+        kp: int | None = None,
+        cp: int | None = None,
+        name: str | None = None,
+    ) -> "PlatformConfig":
+        """Variant with different bandwidth / parallelism (used by the DSE)."""
+        return replace(
+            self,
+            name=name or self.name,
+            off_chip_bandwidth_gbps=bandwidth_gbps or self.off_chip_bandwidth_gbps,
+            kp=kp or self.kp,
+            cp=cp or self.cp,
+        )
+
+
+#: The analytic-model configuration of Section 5.2: 19.2 GB/s off-chip
+#: bandwidth and 1.296 TFLOPS at 100 MHz (KP x CP x 9 = 6480 MACs/cycle).
+ANALYTIC_DEFAULT = PlatformConfig(
+    name="analytic-default",
+    clock_mhz=100.0,
+    kp=24,
+    cp=30,
+    off_chip_bandwidth_gbps=19.2,
+    total_buffer_kb=3853.0,
+    pb_kb=1728.0,
+)
+
+#: ZCU104 embedded board (Tab. 2/3): 259.2 GFLOPS (2592 ops/cycle) at 100 MHz,
+#: 397 KB BRAM + 3456 KB URAM on-chip storage, 1728 KB of URAM as PB.
+ZCU104 = PlatformConfig(
+    name="zcu104",
+    clock_mhz=100.0,
+    kp=16,
+    cp=9,
+    off_chip_bandwidth_gbps=19.2,
+    total_buffer_kb=397.0 + 3456.0,
+    pb_kb=1728.0,
+    board_power_w=5.0,
+)
+
+#: Alveo U50 (Section 5.4): 921.6 GFLOPS (9216 ops/cycle), 14.4 GB/s nominal
+#: off-chip bandwidth, 1.69 MB PB.  The board lives in a data-center host
+#: whose DRAM is shared, so the effective bandwidth it sees is much lower
+#: (``dram_contention_factor``) and every query pays a PCIe round-trip —
+#: which is why it loses to the ZCU104 on small SubNets (Fig. 13a).
+ALVEO_U50 = PlatformConfig(
+    name="alveo-u50",
+    clock_mhz=100.0,
+    kp=32,
+    cp=16,
+    off_chip_bandwidth_gbps=14.4,
+    total_buffer_kb=8192.0,
+    pb_kb=1730.0,
+    board_power_w=75.0,
+    dram_contention_factor=8.0,
+    query_overhead_cycles=200_000.0,
+)
+
+#: Intel i7-10750H laptop CPU baseline (45 W).  Parameters are consumed by
+#: :class:`repro.accelerator.cpu_model.CPUModel`, which interprets kp/cp as
+#: SIMD lanes x cores; they are chosen so the CPU lands 1.4-3.2x slower than
+#: SushiAccel, matching the paper's Fig. 13a speedup range.
+CPU_I7_10750H = PlatformConfig(
+    name="cpu-i7-10750h",
+    clock_mhz=2600.0,
+    kp=6,
+    cp=4,
+    dpe_size=4,
+    off_chip_bandwidth_gbps=41.8,
+    total_buffer_kb=12288.0,
+    pb_kb=0.0,
+    board_power_w=45.0,
+)
+
+#: Xilinx DPU (DPUCZDX8G on ZCU104, Tab. 2): 2304 ops/cycle (1152 MACs/cycle),
+#: no PB.  Consumed by :class:`repro.accelerator.dpu_model.XilinxDPUModel`.
+XILINX_DPU_ZCU104 = PlatformConfig(
+    name="xilinx-dpu-zcu104",
+    clock_mhz=100.0,
+    kp=12,
+    cp=8,
+    dpe_size=12,
+    off_chip_bandwidth_gbps=19.2,
+    total_buffer_kb=2048.0,
+    pb_kb=0.0,
+    board_power_w=5.0,
+)
+
+_ALL_PLATFORMS: dict[str, PlatformConfig] = {
+    p.name: p
+    for p in (ANALYTIC_DEFAULT, ZCU104, ALVEO_U50, CPU_I7_10750H, XILINX_DPU_ZCU104)
+}
+
+
+def platform_by_name(name: str) -> PlatformConfig:
+    """Look up a predefined platform configuration by name."""
+    try:
+        return _ALL_PLATFORMS[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown platform {name!r}; available: {sorted(_ALL_PLATFORMS)}"
+        ) from exc

@@ -1,0 +1,152 @@
+"""FPGA resource estimation (Tables 2 and 3 of the paper).
+
+The paper reports post-implementation LUT / register / BRAM / URAM / DSP
+utilization of SushiAccel with and without the Persistent Buffer on ZCU104
+and Alveo U50.  This module provides a parametric estimator driven by the
+architectural knobs (DPE array size, buffer capacities) with per-unit cost
+constants calibrated so the paper's configurations reproduce Table 2's
+numbers to within a few percent.  It exists purely to regenerate the tables;
+no serving result depends on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accelerator.buffers import BufferHierarchy, default_hierarchy
+from repro.accelerator.dpe import DPEArrayConfig
+from repro.accelerator.platforms import ALVEO_U50, ZCU104, PlatformConfig
+
+#: Device resource totals used for utilization percentages.
+DEVICE_TOTALS: dict[str, dict[str, float]] = {
+    "zcu104": {"LUT": 230400, "Register": 460800, "BRAM": 312, "URAM": 96, "DSP": 1728},
+    "alveo-u50": {"LUT": 870000, "Register": 1743000, "BRAM": 1344, "URAM": 640, "DSP": 5952},
+}
+
+# Per-unit cost constants (calibrated against Table 2).
+_LUT_PER_MAC = 22.0
+_LUT_PER_BUFFER_KB = 2.1
+_LUT_BASE = 26000.0
+_REG_PER_MAC = 40.0
+_REG_PER_BUFFER_KB = 3.0
+_REG_BASE = 44000.0
+_DSP_PER_MAC = 1.0
+_DSP_BASE = 60.0
+_BRAM_KB = 4.5       # one 36Kb BRAM holds 4.5 KB
+_URAM_KB = 36.0      # one URAM holds 36 KB
+_PB_LUT_OVERHEAD = 3100.0   # PB addressing / crossbar logic
+_PB_REG_OVERHEAD = 10500.0
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated FPGA resource usage of one accelerator configuration."""
+
+    platform_name: str
+    lut: int
+    register: int
+    bram: float
+    uram: int
+    dsp: int
+    peak_ops_per_cycle: int
+    gflops_100mhz: float
+
+    def utilization(self) -> dict[str, float]:
+        """Fractional device utilization per resource type."""
+        totals = DEVICE_TOTALS.get(self.platform_name)
+        if totals is None:
+            raise ValueError(f"no device totals known for {self.platform_name!r}")
+        return {
+            "LUT": self.lut / totals["LUT"],
+            "Register": self.register / totals["Register"],
+            "BRAM": self.bram / totals["BRAM"],
+            "URAM": self.uram / totals["URAM"],
+            "DSP": self.dsp / totals["DSP"],
+        }
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "LUT": self.lut,
+            "Register": self.register,
+            "BRAM": self.bram,
+            "URAM": self.uram,
+            "DSP": self.dsp,
+            "PeakOps/cycle": self.peak_ops_per_cycle,
+            "GFlops(100MHz)": self.gflops_100mhz,
+        }
+
+
+def _buffer_to_bram_uram(hierarchy: BufferHierarchy, *, with_pb: bool) -> tuple[float, int]:
+    """Map buffer capacities onto BRAM (small buffers) and URAM (large buffers).
+
+    Following Table 3: LB/OB/ZSB plus a slice of SB live in BRAM; the
+    ping-pong DBs, the bulk of SB and the PB live in URAM.
+    """
+    bram_kb = (
+        hierarchy["LB"].capacity_kb
+        + hierarchy["OB"].capacity_kb
+        + hierarchy["ZSB"].capacity_kb
+        + 8.0  # SB staging slice
+    )
+    uram_kb = (
+        hierarchy["DB-Ping"].capacity_kb
+        + hierarchy["DB-Pong"].capacity_kb
+        + max(0.0, hierarchy["SB"].capacity_kb - 8.0)
+        + (hierarchy["PB"].capacity_kb if with_pb else 0.0)
+    )
+    bram = bram_kb / _BRAM_KB
+    uram = math.ceil(uram_kb / _URAM_KB)
+    return bram, uram
+
+
+def estimate_resources(
+    platform: PlatformConfig,
+    *,
+    with_pb: bool | None = None,
+) -> ResourceEstimate:
+    """Estimate FPGA resources for SushiAccel on ``platform``."""
+    use_pb = platform.has_pb if with_pb is None else with_pb
+    dpe = DPEArrayConfig(kp=platform.kp, cp=platform.cp, dpe_size=platform.dpe_size)
+    hierarchy = default_hierarchy(platform, dpe, with_pb=use_pb)
+    macs = dpe.macs_per_cycle
+    total_buffer_kb = hierarchy.total_kb
+
+    lut = _LUT_BASE + _LUT_PER_MAC * macs + _LUT_PER_BUFFER_KB * total_buffer_kb
+    reg = _REG_BASE + _REG_PER_MAC * macs + _REG_PER_BUFFER_KB * total_buffer_kb
+    if use_pb:
+        lut += _PB_LUT_OVERHEAD
+        reg += _PB_REG_OVERHEAD
+    dsp = _DSP_BASE + _DSP_PER_MAC * macs
+    bram, uram = _buffer_to_bram_uram(hierarchy, with_pb=use_pb)
+
+    peak_ops = 2 * macs
+    return ResourceEstimate(
+        platform_name=platform.name,
+        lut=int(round(lut)),
+        register=int(round(reg)),
+        bram=round(bram, 1),
+        uram=int(uram),
+        dsp=int(round(dsp)),
+        peak_ops_per_cycle=peak_ops,
+        gflops_100mhz=peak_ops * 100.0 / 1e3,
+    )
+
+
+def buffer_allocation_table(platform: PlatformConfig = ZCU104) -> dict[str, dict[str, float]]:
+    """Reproduce Table 3: per-buffer KB allocation with and without the PB."""
+    dpe = DPEArrayConfig(kp=platform.kp, cp=platform.cp, dpe_size=platform.dpe_size)
+    with_pb = default_hierarchy(platform, dpe, with_pb=True).summary()
+    without_pb = default_hierarchy(platform, dpe, with_pb=False).summary()
+    return {"with_pb_kb": with_pb, "without_pb_kb": without_pb}
+
+
+def resource_comparison_table() -> dict[str, dict[str, float]]:
+    """Reproduce Table 2: resources of SushiAccel w/ and w/o PB on both boards."""
+    rows: dict[str, dict[str, float]] = {}
+    for platform in (ZCU104, ALVEO_U50):
+        for with_pb in (False, True):
+            suffix = "w/ PB" if with_pb else "w/o PB"
+            est = estimate_resources(platform, with_pb=with_pb)
+            rows[f"SushiAccel {suffix} ({platform.name})"] = est.as_row()
+    return rows

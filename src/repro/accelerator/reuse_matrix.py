@@ -1,0 +1,55 @@
+"""Data-reuse comparison against prior accelerators (Table 4).
+
+A qualitative matrix recording which reuse opportunities each accelerator
+exploits: iAct reuse (sliding-window + multi-kernel), oAct (partial-sum)
+reuse, weight reuse across iAct tiles, and — unique to SUSHI — cross-query
+SubGraph reuse (spatial and temporal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReuseSupport:
+    """Reuse capabilities of one accelerator design."""
+
+    name: str
+    iact_reuse: bool
+    oact_reuse: bool
+    weight_reuse: bool
+    subgraph_reuse_spatial: bool
+    subgraph_reuse_temporal: bool
+
+    def as_row(self) -> dict[str, str]:
+        def mark(flag: bool) -> str:
+            return "yes" if flag else "no"
+
+        return {
+            "iActs Reuse": mark(self.iact_reuse),
+            "oAct Reuse (Partial Sum)": mark(self.oact_reuse),
+            "Weights Reuse (iAct Tiling)": mark(self.weight_reuse),
+            "SubGraph Reuse (spatial)": mark(self.subgraph_reuse_spatial),
+            "SubGraph Reuse (temporal)": mark(self.subgraph_reuse_temporal),
+        }
+
+
+#: Table 4 of the paper, row by row.
+REUSE_COMPARISON: tuple[ReuseSupport, ...] = (
+    ReuseSupport("MAERI", iact_reuse=True, oact_reuse=False, weight_reuse=True,
+                 subgraph_reuse_spatial=False, subgraph_reuse_temporal=False),
+    ReuseSupport("NVDLA", iact_reuse=False, oact_reuse=True, weight_reuse=True,
+                 subgraph_reuse_spatial=False, subgraph_reuse_temporal=False),
+    ReuseSupport("Eyeriss", iact_reuse=True, oact_reuse=False, weight_reuse=True,
+                 subgraph_reuse_spatial=False, subgraph_reuse_temporal=False),
+    ReuseSupport("Xilinx DPU", iact_reuse=True, oact_reuse=True, weight_reuse=True,
+                 subgraph_reuse_spatial=False, subgraph_reuse_temporal=False),
+    ReuseSupport("SUSHI", iact_reuse=True, oact_reuse=True, weight_reuse=True,
+                 subgraph_reuse_spatial=True, subgraph_reuse_temporal=True),
+)
+
+
+def reuse_comparison_table() -> dict[str, dict[str, str]]:
+    """Table 4 as a nested dict keyed by accelerator name."""
+    return {entry.name: entry.as_row() for entry in REUSE_COMPARISON}

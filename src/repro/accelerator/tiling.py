@@ -1,0 +1,108 @@
+"""Weight-tile decomposition.
+
+SushiAccel processes each convolution at the granularity of *weight tiles*: a
+tile holds ``KP`` kernels x ``CP`` input channels x one 3x3 kernel window —
+exactly what the DPE array consumes while a tile's distinct weights for the
+*next* tile are pre-fetched into the other half of the ping-pong Dynamic
+Buffer (Fig. 9b).  Tile geometry therefore determines how much off-chip weight
+latency can be hidden and what the non-hideable prologue (the first tile) is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accelerator.dpe import DPEArrayConfig
+from repro.supernet.layers import ConvLayerSpec, LayerKind
+
+
+@dataclass(frozen=True)
+class WeightTile:
+    """Geometry of the weight tiles a layer is decomposed into.
+
+    Attributes
+    ----------
+    kernels, channels:
+        Kernels / input channels covered by one tile.
+    tile_bytes:
+        Weight bytes per (full) tile.
+    num_tiles:
+        Number of tiles needed to cover the whole layer.
+    """
+
+    kernels: int
+    channels: int
+    tile_bytes: int
+    num_tiles: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Upper bound of bytes across all tiles (last tiles may be partial)."""
+        return self.tile_bytes * self.num_tiles
+
+
+def tile_layer(
+    layer: ConvLayerSpec, dpe: DPEArrayConfig, *, db_capacity_bytes: int | None = None
+) -> WeightTile:
+    """Decompose a layer's weights into DPE-array-sized tiles.
+
+    Parameters
+    ----------
+    layer:
+        The layer (at its activated channel counts).
+    dpe:
+        The DPE array geometry.
+    db_capacity_bytes:
+        Capacity of one Dynamic Buffer half; when provided, tiles are shrunk
+        (by covering fewer kernels) until a tile fits, mirroring how the real
+        controller splits oversized tiles.
+    """
+    if layer.kind == LayerKind.POOL:
+        return WeightTile(kernels=0, channels=0, tile_bytes=0, num_tiles=0)
+
+    kernels = min(dpe.kp, layer.out_channels)
+    if layer.kind == LayerKind.DEPTHWISE_CONV:
+        channels = 1
+        weights_per_kernel = layer.kernel_size**2
+    elif layer.kind == LayerKind.LINEAR or layer.kernel_size == 1:
+        channels = min(dpe.cp * dpe.dpe_size, layer.in_channels)
+        weights_per_kernel = channels
+    else:
+        channels = min(dpe.cp, layer.in_channels // layer.groups)
+        weights_per_kernel = channels * layer.kernel_size**2
+
+    tile_bytes = math.ceil(kernels * weights_per_kernel * layer.weight_bits / 8)
+
+    if db_capacity_bytes is not None and db_capacity_bytes > 0:
+        while tile_bytes > db_capacity_bytes and kernels > 1:
+            kernels = max(1, kernels // 2)
+            tile_bytes = math.ceil(kernels * weights_per_kernel * layer.weight_bits / 8)
+
+    if layer.kind == LayerKind.DEPTHWISE_CONV:
+        kernel_passes = math.ceil(layer.out_channels / max(1, kernels))
+        channel_passes = 1
+    else:
+        per_group_in = (
+            layer.in_channels
+            if layer.kind == LayerKind.LINEAR
+            else layer.in_channels // layer.groups
+        )
+        kernel_passes = math.ceil(layer.out_channels / max(1, kernels))
+        channel_passes = math.ceil(per_group_in / max(1, channels))
+    num_tiles = max(1, kernel_passes * channel_passes)
+
+    return WeightTile(
+        kernels=kernels,
+        channels=channels,
+        tile_bytes=tile_bytes,
+        num_tiles=num_tiles,
+    )
+
+
+def first_tile_bytes(layer: ConvLayerSpec, dpe: DPEArrayConfig) -> int:
+    """Bytes of the first weight tile — the non-hideable fetch prologue."""
+    tile = tile_layer(layer, dpe)
+    if tile.num_tiles == 0:
+        return 0
+    return min(tile.tile_bytes, layer.weight_bytes)

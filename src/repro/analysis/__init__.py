@@ -1,0 +1,18 @@
+"""Analysis utilities: arithmetic intensity, comparisons and report formatting."""
+
+from repro.analysis.arithmetic_intensity import (
+    layer_arithmetic_intensities,
+    subnet_arithmetic_intensity_series,
+)
+from repro.analysis.comparison import geometric_mean_speedup, speedup_series
+from repro.analysis.reporting import format_table, format_series, format_kv
+
+__all__ = [
+    "layer_arithmetic_intensities",
+    "subnet_arithmetic_intensity_series",
+    "geometric_mean_speedup",
+    "speedup_series",
+    "format_table",
+    "format_series",
+    "format_kv",
+]

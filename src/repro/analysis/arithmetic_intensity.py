@@ -1,0 +1,46 @@
+"""Per-layer arithmetic intensity (Fig. 2 of the paper).
+
+Arithmetic intensity (FLOPs per byte of off-chip traffic) determines whether
+a layer is compute- or memory-bound on a given platform; the paper's Fig. 2
+shows that many of MobileNetV3's and ResNet50's later layers have low
+intensity, motivating SubGraph Stationary caching.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.supernet.layers import ConvLayerSpec
+from repro.supernet.subnet import SubNet
+
+
+def layer_arithmetic_intensities(
+    layers: Sequence[ConvLayerSpec], *, cached_weight_bytes: int = 0
+) -> list[float]:
+    """Arithmetic intensity of each layer, in order.
+
+    ``cached_weight_bytes`` (per layer, clamped) models the SGS effect of
+    removing cached weights from the off-chip byte count.
+    """
+    return [
+        layer.arithmetic_intensity(cached_weight_bytes=cached_weight_bytes)
+        for layer in layers
+    ]
+
+
+def subnet_arithmetic_intensity_series(
+    subnet: SubNet, *, conv_only: bool = True
+) -> tuple[list[int], list[float]]:
+    """(layer ids, arithmetic intensities) for a SubNet — the Fig. 2 series.
+
+    ``conv_only`` restricts the series to convolution layers (the figure plots
+    convolutions; the classifier's intensity is trivially low).
+    """
+    ids: list[int] = []
+    values: list[float] = []
+    for i, layer in enumerate(subnet.active_layers()):
+        if conv_only and not layer.kind.is_conv():
+            continue
+        ids.append(i)
+        values.append(layer.arithmetic_intensity())
+    return ids, values

@@ -1,0 +1,29 @@
+"""Speedup comparisons (geometric means, per-layer series) used by Fig. 13/14."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def speedup_series(
+    baseline_latencies: Sequence[float], candidate_latencies: Sequence[float]
+) -> list[float]:
+    """Per-item speedup of ``candidate`` over ``baseline`` (>1 means faster)."""
+    if len(baseline_latencies) != len(candidate_latencies):
+        raise ValueError("latency series must have equal length")
+    speedups = []
+    for base, cand in zip(baseline_latencies, candidate_latencies):
+        if base <= 0 or cand <= 0:
+            raise ValueError("latencies must be positive")
+        speedups.append(base / cand)
+    return speedups
+
+
+def geometric_mean_speedup(
+    baseline_latencies: Sequence[float], candidate_latencies: Sequence[float]
+) -> float:
+    """Geometric-mean speedup (the paper's 25.1 % number is geomean - 1)."""
+    speedups = speedup_series(baseline_latencies, candidate_latencies)
+    return float(np.exp(np.mean(np.log(speedups))))

@@ -1,0 +1,159 @@
+"""Caching-policy ablations.
+
+SushiSched's caching decision (cache the candidate SubGraph nearest to the
+running average of recently served SubNets) is one point in a space of
+policies.  This module implements the alternatives an ablation study would
+compare against, all operating on the same candidate set and latency table so
+they slot directly into :class:`repro.serving.stack.SushiStack`-style loops:
+
+* ``NeverCachePolicy``        — lower bound: leave the PB empty.
+* ``StaticSharedPolicy``      — cache the family-wide shared SubGraph once and
+                                never change it (no temporal adaptation).
+* ``MostRecentPolicy``        — cache (a truncation of) the last served SubNet
+                                (the paper's "state-unaware" strawman).
+* ``FrequencyPolicy``         — cache the candidate nearest to the *most
+                                frequently* served SubNet in the window (mode
+                                rather than mean).
+* ``RunningAveragePolicy``    — the paper's policy (delegates to the same
+                                nearest-candidate rule as SushiSched).
+
+The ablation benchmark (``benchmarks/test_bench_ablation_caching.py``)
+compares their byte hit ratios and mean serving latencies on a common stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.candidates import CandidateSet
+from repro.core.encoding import nearest_index
+from repro.supernet.subnet import SubNet
+from repro.supernet.supernet import SuperNet
+
+
+class CachingPolicy:
+    """Interface: observe served SubNets, propose a candidate index to cache."""
+
+    name: str = "base"
+
+    def observe(self, subnet_idx: int) -> None:  # pragma: no cover - trivial default
+        """Record that ``subnet_idx`` (row of the latency table) was served."""
+
+    def propose(self, current_idx: int) -> int:
+        """Return the candidate-set index that should be cached next."""
+        raise NotImplementedError
+
+
+class NeverCachePolicy(CachingPolicy):
+    """Keep whatever was initially cached (an empty PB when so initialized)."""
+
+    name = "never"
+
+    def propose(self, current_idx: int) -> int:
+        return current_idx
+
+
+class StaticSharedPolicy(CachingPolicy):
+    """Always cache one fixed candidate (e.g. the family-shared SubGraph)."""
+
+    name = "static-shared"
+
+    def __init__(self, fixed_idx: int) -> None:
+        if fixed_idx < 0:
+            raise ValueError("fixed_idx must be non-negative")
+        self.fixed_idx = fixed_idx
+
+    def propose(self, current_idx: int) -> int:
+        return self.fixed_idx
+
+
+class MostRecentPolicy(CachingPolicy):
+    """Cache the candidate nearest to the most recently served SubNet."""
+
+    name = "most-recent"
+
+    def __init__(self, subnets: list[SubNet], candidates: CandidateSet, supernet: SuperNet) -> None:
+        self._subnet_encodings = [sn.encode() for sn in subnets]
+        self._candidate_encodings = candidates.encodings(supernet)
+        self._last: int | None = None
+
+    def observe(self, subnet_idx: int) -> None:
+        self._last = subnet_idx
+
+    def propose(self, current_idx: int) -> int:
+        if self._last is None:
+            return current_idx
+        return nearest_index(self._subnet_encodings[self._last], self._candidate_encodings)
+
+
+class FrequencyPolicy(CachingPolicy):
+    """Cache the candidate nearest to the modal served SubNet in a window."""
+
+    name = "frequency"
+
+    def __init__(
+        self,
+        subnets: list[SubNet],
+        candidates: CandidateSet,
+        supernet: SuperNet,
+        *,
+        window: int = 16,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._subnet_encodings = [sn.encode() for sn in subnets]
+        self._candidate_encodings = candidates.encodings(supernet)
+        self._history: deque[int] = deque(maxlen=window)
+
+    def observe(self, subnet_idx: int) -> None:
+        self._history.append(subnet_idx)
+
+    def propose(self, current_idx: int) -> int:
+        if not self._history:
+            return current_idx
+        counts = Counter(self._history)
+        # Deterministic tie-break: highest count, then lowest SubNet index.
+        modal_idx = min(counts, key=lambda idx: (-counts[idx], idx))
+        return nearest_index(self._subnet_encodings[modal_idx], self._candidate_encodings)
+
+
+class RunningAveragePolicy(CachingPolicy):
+    """The paper's policy: nearest candidate to the mean served encoding."""
+
+    name = "running-average"
+
+    def __init__(
+        self,
+        subnets: list[SubNet],
+        candidates: CandidateSet,
+        supernet: SuperNet,
+        *,
+        window: int = 4,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._subnet_encodings = [sn.encode() for sn in subnets]
+        self._candidate_encodings = candidates.encodings(supernet)
+        self._history: deque[np.ndarray] = deque(maxlen=window)
+
+    def observe(self, subnet_idx: int) -> None:
+        self._history.append(self._subnet_encodings[subnet_idx])
+
+    def propose(self, current_idx: int) -> int:
+        if not self._history:
+            return current_idx
+        target = np.mean(np.stack(self._history), axis=0)
+        return nearest_index(target, self._candidate_encodings)
+
+
+@dataclass(frozen=True)
+class AblationOutcome:
+    """Result of running one caching policy over a query stream."""
+
+    policy_name: str
+    mean_latency_ms: float
+    mean_byte_hit_ratio: float
+    cache_reload_bytes: int

@@ -1,0 +1,167 @@
+"""SushiAbs: the hardware-agnostic latency lookup table.
+
+The abstraction between SushiSched and any SGS-capable accelerator is a
+lookup table ``L[i][j]`` giving the latency of serving SubNet ``i`` while
+SubGraph ``j`` is cached (paper Section 3.2).  Rows are the servable SubNets
+(set ``X``), columns the candidate SubGraphs (set ``S``).  The table is small
+— ``O(|S| x |X|)`` with ``|X| = O(1)`` — and lookups are O(1), keeping the
+scheduler off the query critical path (Table 6 measures lookup time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.accelerator.persistent_buffer import CachedSubGraph
+from repro.core.candidates import CandidateSet
+from repro.supernet.subnet import SubNet
+
+
+@dataclass
+class LookupTimer:
+    """Accumulates wall-clock time spent in table lookups (Table 6)."""
+
+    lookups: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_microseconds(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.total_seconds / self.lookups * 1e6
+
+
+class LatencyTable:
+    """The ``L[SubNet i][SubGraph j]`` latency lookup table.
+
+    Parameters
+    ----------
+    subnets:
+        Servable SubNets (rows), with their fixed accuracies.
+    candidates:
+        Candidate SubGraph set ``S`` (columns).
+    latencies_ms:
+        ``len(subnets) x len(candidates)`` matrix of serving latencies.
+    accuracies:
+        Per-SubNet top-1 accuracy (fractions), aligned with ``subnets``.
+    """
+
+    def __init__(
+        self,
+        subnets: Sequence[SubNet],
+        candidates: CandidateSet,
+        latencies_ms: np.ndarray | Sequence[Sequence[float]],
+        accuracies: Sequence[float],
+    ) -> None:
+        self.subnets = list(subnets)
+        self.candidates = candidates
+        self.latencies_ms = np.asarray(latencies_ms, dtype=np.float64)
+        self.accuracies = np.asarray(accuracies, dtype=np.float64)
+        if self.latencies_ms.shape != (len(self.subnets), len(candidates)):
+            raise ValueError(
+                f"latency matrix shape {self.latencies_ms.shape} does not match "
+                f"({len(self.subnets)}, {len(candidates)})"
+            )
+        if self.accuracies.shape != (len(self.subnets),):
+            raise ValueError(
+                f"accuracies shape {self.accuracies.shape} does not match "
+                f"number of SubNets ({len(self.subnets)})"
+            )
+        if np.any(self.latencies_ms <= 0):
+            raise ValueError("all latencies must be positive")
+        if np.any((self.accuracies <= 0) | (self.accuracies >= 1)):
+            raise ValueError("accuracies must be fractions in (0, 1)")
+        self.timer = LookupTimer()
+
+    # ------------------------------------------------------------ factory
+    @classmethod
+    def build(
+        cls,
+        subnets: Sequence[SubNet],
+        candidates: CandidateSet,
+        latency_fn: Callable[[SubNet, CachedSubGraph], float],
+        accuracy_fn: Callable[[SubNet], float],
+    ) -> "LatencyTable":
+        """Populate the table by evaluating a latency model on every (i, j)."""
+        matrix = np.array(
+            [[latency_fn(sn, sg) for sg in candidates] for sn in subnets],
+            dtype=np.float64,
+        )
+        accuracies = [accuracy_fn(sn) for sn in subnets]
+        return cls(subnets, candidates, matrix, accuracies)
+
+    # ------------------------------------------------------------ lookups
+    @property
+    def num_subnets(self) -> int:
+        return len(self.subnets)
+
+    @property
+    def num_subgraphs(self) -> int:
+        return len(self.candidates)
+
+    def latency(self, subnet_idx: int, subgraph_idx: int) -> float:
+        """O(1) lookup of ``L[i][j]`` (timed for Table 6)."""
+        start = time.perf_counter()
+        value = float(self.latencies_ms[subnet_idx, subgraph_idx])
+        self.timer.total_seconds += time.perf_counter() - start
+        self.timer.lookups += 1
+        return value
+
+    def column(self, subgraph_idx: int) -> np.ndarray:
+        """Latencies of every SubNet under cached SubGraph ``j``."""
+        return self.latencies_ms[:, subgraph_idx]
+
+    def accuracy(self, subnet_idx: int) -> float:
+        return float(self.accuracies[subnet_idx])
+
+    def subnet_index(self, subnet: SubNet) -> int:
+        for i, sn in enumerate(self.subnets):
+            if sn == subnet:
+                return i
+        raise KeyError(f"SubNet {subnet.name} not in latency table")
+
+    # ------------------------------------------------------- policy queries
+    def best_under_accuracy(self, min_accuracy: float, subgraph_idx: int) -> int | None:
+        """STRICT_ACCURACY selection: fastest SubNet with accuracy >= bound.
+
+        Returns ``None`` when no SubNet satisfies the accuracy constraint
+        (the caller then falls back to the most accurate SubNet).
+        """
+        feasible = np.flatnonzero(self.accuracies >= min_accuracy)
+        if feasible.size == 0:
+            return None
+        start = time.perf_counter()
+        col = self.latencies_ms[feasible, subgraph_idx]
+        best = int(feasible[int(np.argmin(col))])
+        self.timer.total_seconds += time.perf_counter() - start
+        self.timer.lookups += 1
+        return best
+
+    def best_under_latency(self, max_latency_ms: float, subgraph_idx: int) -> int | None:
+        """STRICT_LATENCY selection: most accurate SubNet with latency <= bound."""
+        start = time.perf_counter()
+        col = self.latencies_ms[:, subgraph_idx]
+        feasible = np.flatnonzero(col <= max_latency_ms)
+        if feasible.size == 0:
+            self.timer.total_seconds += time.perf_counter() - start
+            self.timer.lookups += 1
+            return None
+        best = int(feasible[int(np.argmax(self.accuracies[feasible]))])
+        self.timer.total_seconds += time.perf_counter() - start
+        self.timer.lookups += 1
+        return best
+
+    # ------------------------------------------------------------- reports
+    def summary(self) -> dict[str, float]:
+        return {
+            "num_subnets": float(self.num_subnets),
+            "num_subgraphs": float(self.num_subgraphs),
+            "min_latency_ms": float(self.latencies_ms.min()),
+            "max_latency_ms": float(self.latencies_ms.max()),
+            "min_accuracy": float(self.accuracies.min()),
+            "max_accuracy": float(self.accuracies.max()),
+        }

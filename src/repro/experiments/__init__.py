@@ -1,0 +1,15 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every module exposes
+
+* ``run(...)`` — compute the experiment's data (deterministic, seeded), and
+* ``report(result)`` — render the data as the plain-text analogue of the
+  paper's table or figure.
+
+The benchmark harness (``benchmarks/``) and the examples call these drivers;
+``repro.experiments.registry`` maps experiment ids (e.g. ``"fig10"``) to them.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]

@@ -1,0 +1,158 @@
+"""Ablation (extension): comparing SubGraph caching policies.
+
+Not a figure from the paper — this is the ablation DESIGN.md calls out: hold
+the serving stack fixed and swap only the *caching* decision rule, to isolate
+how much of SUSHI's benefit comes from the running-average policy versus
+simply having a warm Persistent Buffer.  Policies compared:
+
+* never cache anything,
+* statically cache the family-shared SubGraph,
+* cache the most recently served SubNet (state-unaware strawman),
+* cache for the modal SubNet of a window (frequency),
+* the paper's running-average policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.platforms import ANALYTIC_DEFAULT, PlatformConfig
+from repro.analysis.reporting import format_table
+from repro.core.ablations import (
+    AblationOutcome,
+    CachingPolicy,
+    FrequencyPolicy,
+    MostRecentPolicy,
+    NeverCachePolicy,
+    RunningAveragePolicy,
+    StaticSharedPolicy,
+)
+from repro.core.candidates import build_candidate_set
+from repro.core.latency_table import LatencyTable
+from repro.core.policies import Policy, select_subnet
+from repro.serving.query import QueryTrace
+from repro.serving.workload import WorkloadGenerator, WorkloadSpec, feasible_ranges_from_table
+from repro.supernet.accuracy import AccuracyModel
+from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    supernet_name: str
+    outcomes: tuple[AblationOutcome, ...]
+
+    def by_name(self) -> dict[str, AblationOutcome]:
+        return {o.policy_name: o for o in self.outcomes}
+
+
+def _serve_with_policy(
+    policy: CachingPolicy,
+    *,
+    subnets,
+    table: LatencyTable,
+    accel: SushiAccelModel,
+    accuracy: AccuracyModel,
+    trace: QueryTrace,
+    cache_update_period: int,
+) -> AblationOutcome:
+    pb = accel.make_persistent_buffer()
+    cache_idx = 0
+    reload_bytes = 0
+    latencies, hits = [], []
+    for i, query in enumerate(trace):
+        subnet_idx = select_subnet(
+            table,
+            Policy.STRICT_ACCURACY,
+            accuracy_constraint=query.accuracy_constraint,
+            latency_constraint_ms=query.latency_constraint_ms,
+            cache_state_idx=cache_idx,
+        )
+        subnet = subnets[subnet_idx]
+        latencies.append(accel.subnet_latency_ms(subnet, pb.cached))
+        hits.append(pb.hit_bytes(subnet) / subnet.weight_bytes)
+        policy.observe(subnet_idx)
+        if (i + 1) % cache_update_period == 0:
+            proposal = policy.propose(cache_idx)
+            if proposal != cache_idx or pb.occupancy_bytes == 0:
+                cache_idx = proposal
+                if not isinstance(policy, NeverCachePolicy):
+                    reload_bytes += pb.load(table.candidates[cache_idx])
+    return AblationOutcome(
+        policy_name=policy.name,
+        mean_latency_ms=float(np.mean(latencies)),
+        mean_byte_hit_ratio=float(np.mean(hits)),
+        cache_reload_bytes=reload_bytes,
+    )
+
+
+def run(
+    supernet_name: str = "ofa_mobilenetv3",
+    *,
+    platform: PlatformConfig = ANALYTIC_DEFAULT,
+    num_queries: int = 150,
+    cache_update_period: int = 4,
+    seed: int = 0,
+) -> AblationResult:
+    supernet = load_supernet(supernet_name)
+    subnets = paper_pareto_subnets(supernet)
+    accel = SushiAccelModel(platform, with_pb=True)
+    accuracy = AccuracyModel(supernet)
+    candidates = build_candidate_set(subnets, capacity_bytes=max(accel.pb_capacity_bytes, 1))
+    table = LatencyTable.build(subnets, candidates, accel.subnet_latency_ms, accuracy.accuracy)
+
+    acc_range, lat_range = feasible_ranges_from_table(table)
+    trace = WorkloadGenerator(
+        WorkloadSpec(
+            num_queries=num_queries, accuracy_range=acc_range, latency_range_ms=lat_range
+        ),
+        seed=seed,
+    ).generate()
+
+    # The shared SubGraph is well approximated by the smallest SubNet's
+    # truncation, which build_candidate_set places first.
+    policies: list[CachingPolicy] = [
+        NeverCachePolicy(),
+        StaticSharedPolicy(fixed_idx=0),
+        MostRecentPolicy(subnets, candidates, supernet),
+        FrequencyPolicy(subnets, candidates, supernet, window=4 * cache_update_period),
+        RunningAveragePolicy(subnets, candidates, supernet, window=cache_update_period),
+    ]
+    outcomes = [
+        _serve_with_policy(
+            policy,
+            subnets=subnets,
+            table=table,
+            accel=accel,
+            accuracy=accuracy,
+            trace=trace,
+            cache_update_period=cache_update_period,
+        )
+        for policy in policies
+    ]
+    return AblationResult(supernet_name=supernet.name, outcomes=tuple(outcomes))
+
+
+def report(result: AblationResult) -> str:
+    rows = {
+        o.policy_name: {
+            "mean latency (ms)": o.mean_latency_ms,
+            "mean byte hit ratio": o.mean_byte_hit_ratio,
+            "cache reload (MB)": o.cache_reload_bytes / 1e6,
+        }
+        for o in result.outcomes
+    }
+    return format_table(
+        rows, title=f"Ablation — SubGraph caching policies, {result.supernet_name}", precision=3
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

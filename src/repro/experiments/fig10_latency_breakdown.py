@@ -1,0 +1,103 @@
+"""Fig. 10 — Potential latency reduction with SGS (latency breakdown per SubNet).
+
+For each Pareto SubNet the paper shows two stacked bars — without and with
+the Persistent Buffer — decomposed into compute, off-chip iAct/weight/oAct
+access and on-chip weight access, at the analytic configuration (19.2 GB/s,
+1.296 TFLOPS @ 100 MHz).  The "with PB" bar caches the served SubNet's own
+SubGraph (the *potential* of SGS), which removes most of the off-chip weight
+component from the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.analytic_model import LatencyComponents, SushiAccelModel
+from repro.accelerator.persistent_buffer import CachedSubGraph
+from repro.accelerator.platforms import ANALYTIC_DEFAULT, PlatformConfig
+from repro.analysis.reporting import format_table
+from repro.supernet.accuracy import AccuracyModel
+from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+
+@dataclass(frozen=True)
+class SubNetBars:
+    """One SubNet's pair of stacked bars plus its accuracy."""
+
+    label: str
+    accuracy_percent: float
+    without_pb: LatencyComponents
+    with_pb: LatencyComponents
+
+    @property
+    def latency_reduction_percent(self) -> float:
+        base = self.without_pb.total_ms
+        if base <= 0:
+            return 0.0
+        return 100.0 * (base - self.with_pb.total_ms) / base
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    supernet_name: str
+    bars: tuple[SubNetBars, ...]
+
+    @property
+    def reduction_range_percent(self) -> tuple[float, float]:
+        reductions = [b.latency_reduction_percent for b in self.bars]
+        return min(reductions), max(reductions)
+
+
+def run(
+    supernet_name: str = "ofa_resnet50",
+    platform: PlatformConfig = ANALYTIC_DEFAULT,
+) -> Fig10Result:
+    supernet = load_supernet(supernet_name)
+    subnets = paper_pareto_subnets(supernet)
+    accuracy = AccuracyModel(supernet)
+    model = SushiAccelModel(platform, with_pb=True)
+    bars = []
+    for subnet in subnets:
+        without = model.subnet_breakdown(subnet, cached=None).components
+        cached = CachedSubGraph.from_subnet(subnet)
+        with_pb = model.subnet_breakdown(subnet, cached=cached).components
+        bars.append(
+            SubNetBars(
+                label=subnet.name,
+                accuracy_percent=accuracy.accuracy_percent(subnet),
+                without_pb=without,
+                with_pb=with_pb,
+            )
+        )
+    return Fig10Result(supernet_name=supernet.name, bars=tuple(bars))
+
+
+def report(result: Fig10Result) -> str:
+    rows = {}
+    for bar in result.bars:
+        for tag, comp in (("w/o PB", bar.without_pb), ("w/ PB", bar.with_pb)):
+            rows[f"{bar.label} {tag}"] = {
+                "compute_ms": comp.compute_ms,
+                "offchip_iact_ms": comp.offchip_iact_ms,
+                "offchip_weight_ms": comp.offchip_weight_ms,
+                "onchip_weight_ms": comp.onchip_weight_ms,
+                "offchip_oact_ms": comp.offchip_oact_ms,
+                "total_ms": comp.total_ms,
+                "accuracy_%": bar.accuracy_percent,
+            }
+    lo, hi = result.reduction_range_percent
+    title = (
+        f"Fig. 10 — latency breakdown, {result.supernet_name} "
+        f"(SGS potential reduction {lo:.1f}%..{hi:.1f}%)"
+    )
+    return format_table(rows, title=title, precision=3)
+
+
+def main() -> None:  # pragma: no cover
+    for name in ("ofa_resnet50", "ofa_mobilenetv3"):
+        print(report(run(name)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

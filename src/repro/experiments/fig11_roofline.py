@@ -1,0 +1,83 @@
+"""Fig. 11 — SGS pushes memory-bound SubNets toward the compute-bound region.
+
+Roofline analysis at the analytic configuration: for each Pareto SubNet we
+compute its arithmetic intensity and attainable TFLOPS without caching and
+with its own SubGraph cached (the SGS roofline view, equivalent to a virtual
+bandwidth improvement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.persistent_buffer import CachedSubGraph
+from repro.accelerator.platforms import ANALYTIC_DEFAULT, PlatformConfig
+from repro.accelerator.roofline import RooflineModel, RooflinePoint
+from repro.analysis.reporting import format_table
+from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    supernet_name: str
+    ridge_point: float
+    peak_tflops: float
+    baseline_points: tuple[RooflinePoint, ...]
+    sgs_points: tuple[RooflinePoint, ...]
+
+    @property
+    def intensity_gain(self) -> list[float]:
+        """Multiplicative arithmetic-intensity improvement per SubNet."""
+        return [
+            sgs.arithmetic_intensity / base.arithmetic_intensity
+            for base, sgs in zip(self.baseline_points, self.sgs_points)
+        ]
+
+
+def run(
+    supernet_name: str = "ofa_resnet50",
+    platform: PlatformConfig = ANALYTIC_DEFAULT,
+) -> Fig11Result:
+    supernet = load_supernet(supernet_name)
+    subnets = paper_pareto_subnets(supernet)
+    roofline = RooflineModel(platform)
+    baseline = [roofline.subnet_point(sn) for sn in subnets]
+    sgs = [
+        roofline.subnet_point(sn, CachedSubGraph.from_subnet(sn), label=f"{sn.name}+SGS")
+        for sn in subnets
+    ]
+    return Fig11Result(
+        supernet_name=supernet.name,
+        ridge_point=roofline.ridge_point,
+        peak_tflops=roofline.peak_tflops,
+        baseline_points=tuple(baseline),
+        sgs_points=tuple(sgs),
+    )
+
+
+def report(result: Fig11Result) -> str:
+    rows = {}
+    for base, sgs in zip(result.baseline_points, result.sgs_points):
+        rows[base.label] = {
+            "AI (FLOPs/B)": base.arithmetic_intensity,
+            "AI w/ SGS": sgs.arithmetic_intensity,
+            "TFLOPS": base.attainable_tflops,
+            "TFLOPS w/ SGS": sgs.attainable_tflops,
+            "compute-bound": base.is_compute_bound,
+            "compute-bound w/ SGS": sgs.is_compute_bound,
+        }
+    title = (
+        f"Fig. 11 — roofline, {result.supernet_name} "
+        f"(ridge {result.ridge_point:.1f} FLOPs/B, peak {result.peak_tflops:.2f} TFLOPS)"
+    )
+    return format_table(rows, title=title, precision=2)
+
+
+def main() -> None:  # pragma: no cover
+    for name in ("ofa_resnet50", "ofa_mobilenetv3"):
+        print(report(run(name)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,82 @@
+"""Fig. 12 — Design-space exploration: SGS latency saving vs hardware knobs.
+
+Sweeps Persistent Buffer size, off-chip bandwidth and compute throughput and
+reports the time-save percentage of SushiAccel w/ PB over w/o PB for each
+configuration.  The expected trends (paper Fig. 12): larger PB, higher
+throughput and *lower* bandwidth all increase the saving, and MobileNetV3
+benefits less than ResNet50 because of its depthwise layers and smaller reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.accelerator.dse import DesignPoint, DesignSpaceExplorer
+from repro.accelerator.platforms import ANALYTIC_DEFAULT, PlatformConfig
+from repro.analysis.reporting import format_table
+from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+#: Default sweep grids (KB, GB/s, MACs/cycle).
+DEFAULT_PB_KB: tuple[float, ...] = (256, 512, 1024, 1728, 3456, 6912)
+DEFAULT_BANDWIDTH_GBPS: tuple[float, ...] = (9.6, 19.2, 38.4)
+DEFAULT_MACS_PER_CYCLE: tuple[int, ...] = (1296, 2592, 6480)
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    supernet_name: str
+    points: tuple[DesignPoint, ...]
+
+    def best(self) -> DesignPoint:
+        return max(self.points, key=lambda p: p.time_save_percent)
+
+    def max_time_save_percent(self) -> float:
+        return self.best().time_save_percent
+
+
+def run(
+    supernet_name: str = "ofa_resnet50",
+    *,
+    platform: PlatformConfig = ANALYTIC_DEFAULT,
+    pb_kb_values: Sequence[float] = DEFAULT_PB_KB,
+    bandwidth_values_gbps: Sequence[float] = DEFAULT_BANDWIDTH_GBPS,
+    macs_per_cycle_values: Sequence[int] = DEFAULT_MACS_PER_CYCLE,
+) -> Fig12Result:
+    supernet = load_supernet(supernet_name)
+    subnets = paper_pareto_subnets(supernet)
+    explorer = DesignSpaceExplorer(subnets, base_platform=platform)
+    points = explorer.sweep(
+        pb_kb_values=pb_kb_values,
+        bandwidth_values_gbps=bandwidth_values_gbps,
+        macs_per_cycle_values=macs_per_cycle_values,
+    )
+    return Fig12Result(supernet_name=supernet.name, points=tuple(points))
+
+
+def report(result: Fig12Result) -> str:
+    rows = {}
+    for p in result.points:
+        key = f"PB={p.pb_kb:.0f}KB BW={p.bandwidth_gbps:.1f}GB/s MACs={p.macs_per_cycle}"
+        rows[key] = {
+            "lat w/o PB (ms)": p.mean_latency_no_pb_ms,
+            "lat w/ PB (ms)": p.mean_latency_with_pb_ms,
+            "time save %": p.time_save_percent,
+        }
+    best = result.best()
+    title = (
+        f"Fig. 12 — DSE, {result.supernet_name} "
+        f"(best saving {best.time_save_percent:.1f}% at PB={best.pb_kb:.0f}KB, "
+        f"BW={best.bandwidth_gbps:.1f}GB/s, MACs={best.macs_per_cycle})"
+    )
+    return format_table(rows, title=title, precision=2)
+
+
+def main() -> None:  # pragma: no cover
+    for name in ("ofa_resnet50", "ofa_mobilenetv3"):
+        print(report(run(name)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

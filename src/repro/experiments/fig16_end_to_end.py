@@ -1,0 +1,80 @@
+"""Fig. 16 / Section 5.7 — End-to-end SUSHI vs baselines on random queries.
+
+Serves the same random query stream through No-SUSHI (no PB, no scheduler),
+SUSHI w/o scheduler (state-unaware caching) and full SUSHI, and reports the
+served latency/accuracy points plus the headline improvements (the paper:
+up to 25 % latency reduction and up to 0.98 % served-accuracy increase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.platforms import ANALYTIC_DEFAULT, PlatformConfig
+from repro.analysis.reporting import format_table
+from repro.core.policies import Policy
+from repro.serving.runner import ComparisonSummary, ExperimentRunner, StreamResult
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    supernet_name: str
+    policy: Policy
+    results: dict[str, StreamResult]
+    summary: ComparisonSummary
+
+
+def run(
+    supernet_name: str = "ofa_resnet50",
+    *,
+    platform: PlatformConfig = ANALYTIC_DEFAULT,
+    policy: Policy = Policy.STRICT_ACCURACY,
+    num_queries: int = 200,
+    cache_update_period: int = 4,
+    seed: int = 0,
+) -> Fig16Result:
+    runner = ExperimentRunner(
+        supernet_name,
+        platform=platform,
+        policy=policy,
+        cache_update_period=cache_update_period,
+        seed=seed,
+    )
+    trace = runner.default_workload(num_queries=num_queries, seed=seed)
+    results, summary = runner.compare(trace)
+    return Fig16Result(
+        supernet_name=supernet_name, policy=policy, results=results, summary=summary
+    )
+
+
+def report(result: Fig16Result) -> str:
+    rows = {}
+    for name, stream in result.results.items():
+        m = stream.metrics
+        rows[name] = {
+            "mean latency (ms)": m.mean_latency_ms,
+            "p99 latency (ms)": m.p99_latency_ms,
+            "mean accuracy (%)": 100.0 * m.mean_accuracy,
+            "latency SLO attainment": m.latency_slo_attainment,
+            "off-chip energy (mJ)": m.total_offchip_energy_mj,
+            "cache hit ratio": m.mean_cache_hit_ratio,
+        }
+    s = result.summary
+    title = (
+        f"Fig. 16 — end-to-end, {result.supernet_name} ({result.policy.value}): "
+        f"latency -{s.latency_improvement_vs_no_sushi_percent:.1f}% vs No-SUSHI, "
+        f"accuracy +{s.accuracy_improvement_points:.2f} pts, "
+        f"off-chip energy -{s.energy_saving_vs_no_sushi_percent:.1f}%"
+    )
+    return format_table(rows, title=title, precision=3)
+
+
+def main() -> None:  # pragma: no cover
+    for name in ("ofa_resnet50", "ofa_mobilenetv3"):
+        for policy in (Policy.STRICT_ACCURACY, Policy.STRICT_LATENCY):
+            print(report(run(name, policy=policy)))
+            print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,78 @@
+"""Registry mapping experiment ids to their driver modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+
+from repro.experiments import (
+    fig02_arithmetic_intensity,
+    fig10_latency_breakdown,
+    fig11_roofline,
+    fig12_dse,
+    fig13_board_latency_energy,
+    fig14_dpu_comparison,
+    fig15_scheduler_functional,
+    fig16_end_to_end,
+    fig17_18_temporal,
+    headline,
+    tab01_bandwidth,
+    tab02_resources,
+    tab03_buffer_config,
+    tab04_reuse,
+    tab05_table_size,
+    tab06_lookup_time,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the paper's evaluation."""
+
+    experiment_id: str
+    description: str
+    module: ModuleType
+
+    def run(self, **kwargs):
+        return self.module.run(**kwargs)
+
+    def report(self, result) -> str:
+        return self.module.report(result)
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in (
+        Experiment("fig02", "Arithmetic intensity per conv layer", fig02_arithmetic_intensity),
+        Experiment("fig10", "Latency breakdown w/ and w/o PB", fig10_latency_breakdown),
+        Experiment("fig11", "Roofline and SGS roofline", fig11_roofline),
+        Experiment("fig12", "Design-space exploration", fig12_dse),
+        Experiment("fig13", "Board latency and off-chip energy", fig13_board_latency_energy),
+        Experiment("fig14", "Per-layer latency vs Xilinx DPU", fig14_dpu_comparison),
+        Experiment("fig15", "SushiSched functional evaluation", fig15_scheduler_functional),
+        Experiment("fig16", "End-to-end SUSHI vs baselines", fig16_end_to_end),
+        Experiment("fig17_18", "Temporal analysis of caching window Q", fig17_18_temporal),
+        Experiment("tab01", "Buffer bandwidth requirements", tab01_bandwidth),
+        Experiment("tab02", "FPGA resource comparison", tab02_resources),
+        Experiment("tab03", "Buffer storage allocation", tab03_buffer_config),
+        Experiment("tab04", "Reuse comparison matrix", tab04_reuse),
+        Experiment("tab05", "Latency improvement vs table size", tab05_table_size),
+        Experiment("tab06", "Latency-table lookup time", tab06_lookup_time),
+        Experiment("headline", "Headline latency/accuracy/energy improvements", headline),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment driver by id (e.g. ``"fig10"``)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from exc
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,29 @@
+"""SUSHI serving stack: query streams, the vertically integrated stack, baselines.
+
+Ties the pieces together: a query stream annotated with (accuracy, latency)
+constraints flows through SushiSched, which consults SushiAbs and drives the
+SushiAccel model (with its Persistent Buffer), producing per-query serving
+records.  Baselines reproduce the paper's comparison points: ``No-SUSHI``
+(no PB, no scheduler) and ``SUSHI w/o scheduler`` (PB with state-unaware
+caching).
+"""
+
+from repro.serving.query import Query, QueryTrace
+from repro.serving.workload import WorkloadGenerator, WorkloadSpec
+from repro.serving.stack import SushiStack, SushiStackConfig
+from repro.serving.baselines import NoSushiServer, StateUnawareCachingServer
+from repro.serving.runner import ExperimentRunner, StreamResult, compare_systems
+
+__all__ = [
+    "Query",
+    "QueryTrace",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "SushiStack",
+    "SushiStackConfig",
+    "NoSushiServer",
+    "StateUnawareCachingServer",
+    "ExperimentRunner",
+    "StreamResult",
+    "compare_systems",
+]

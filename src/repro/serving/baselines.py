@@ -1,0 +1,149 @@
+"""Baseline serving systems the paper compares SUSHI against (Fig. 16).
+
+* :class:`NoSushiServer` ("No-SUSHI") — no Persistent Buffer and no SGS-aware
+  scheduling: SubNet selection uses static per-SubNet latencies profiled
+  without any cached SubGraph.
+* :class:`StateUnawareCachingServer` ("SUSHI w/o scheduler") — the Persistent
+  Buffer exists and is kept warm, but caching is *state-unaware*: every ``Q``
+  queries it simply caches (a truncation of) the most recently served SubNet,
+  and SubNet selection ignores the cache state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.persistent_buffer import CachedSubGraph, PersistentBuffer
+from repro.core.candidates import truncate_to_capacity
+from repro.core.metrics import QueryRecord
+from repro.core.policies import Policy
+from repro.serving.query import QueryTrace
+from repro.supernet.accuracy import AccuracyModel
+from repro.supernet.subnet import SubNet
+from repro.supernet.supernet import SuperNet
+
+
+class _StaticPolicyServer:
+    """Shared logic: policy-based SubNet selection on static latencies."""
+
+    def __init__(
+        self,
+        supernet: SuperNet,
+        subnets: Sequence[SubNet],
+        accel: SushiAccelModel,
+        accuracy_model: AccuracyModel | None = None,
+        *,
+        policy: Policy = Policy.STRICT_ACCURACY,
+    ) -> None:
+        self.supernet = supernet
+        self.subnets = list(subnets)
+        self.accel = accel
+        self.accuracy_model = accuracy_model or AccuracyModel(supernet)
+        self.policy = policy
+        # Static latencies: profiled once, with nothing cached.
+        self.static_latency_ms = np.array(
+            [accel.subnet_latency_ms(sn) for sn in self.subnets]
+        )
+        self.accuracies = np.array(
+            [self.accuracy_model.accuracy(sn) for sn in self.subnets]
+        )
+
+    def _select(self, accuracy_constraint: float, latency_constraint_ms: float) -> int:
+        if self.policy == Policy.STRICT_ACCURACY:
+            feasible = np.flatnonzero(self.accuracies >= accuracy_constraint)
+            if feasible.size == 0:
+                return int(np.argmax(self.accuracies))
+            return int(feasible[int(np.argmin(self.static_latency_ms[feasible]))])
+        feasible = np.flatnonzero(self.static_latency_ms <= latency_constraint_ms)
+        if feasible.size == 0:
+            return int(np.argmin(self.static_latency_ms))
+        return int(feasible[int(np.argmax(self.accuracies[feasible]))])
+
+
+class NoSushiServer(_StaticPolicyServer):
+    """No PB, no SGS-aware scheduler: every query refetches all weights."""
+
+    def serve(self, trace: QueryTrace) -> list[QueryRecord]:
+        records: list[QueryRecord] = []
+        for query in trace:
+            idx = self._select(query.accuracy_constraint, query.latency_constraint_ms)
+            subnet = self.subnets[idx]
+            breakdown = self.accel.subnet_breakdown(subnet, cached=None)
+            records.append(
+                QueryRecord(
+                    query_index=query.index,
+                    accuracy_constraint=query.accuracy_constraint,
+                    latency_constraint_ms=query.latency_constraint_ms,
+                    subnet_name=subnet.name,
+                    served_accuracy=self.accuracy_model.accuracy(subnet),
+                    served_latency_ms=breakdown.latency_ms,
+                    cache_hit_ratio=0.0,
+                    offchip_energy_mj=breakdown.offchip_energy_mj,
+                )
+            )
+        return records
+
+
+class StateUnawareCachingServer(_StaticPolicyServer):
+    """PB present, but caching and selection ignore the accelerator state.
+
+    Every ``cache_update_period`` queries the PB is reloaded with a truncation
+    of the most recently served SubNet — a plausible heuristic that needs no
+    hardware abstraction, which is exactly what the paper's "SUSHI w/o
+    scheduler" ablation isolates.
+    """
+
+    def __init__(
+        self,
+        supernet: SuperNet,
+        subnets: Sequence[SubNet],
+        accel: SushiAccelModel,
+        accuracy_model: AccuracyModel | None = None,
+        *,
+        policy: Policy = Policy.STRICT_ACCURACY,
+        cache_update_period: int = 4,
+    ) -> None:
+        super().__init__(supernet, subnets, accel, accuracy_model, policy=policy)
+        if cache_update_period <= 0:
+            raise ValueError("cache_update_period must be positive")
+        self.cache_update_period = cache_update_period
+        self.pb: PersistentBuffer = accel.make_persistent_buffer()
+
+    def serve(self, trace: QueryTrace) -> list[QueryRecord]:
+        records: list[QueryRecord] = []
+        last_served: SubNet | None = None
+        for i, query in enumerate(trace):
+            idx = self._select(query.accuracy_constraint, query.latency_constraint_ms)
+            subnet = self.subnets[idx]
+            breakdown = self.accel.subnet_breakdown(subnet, self.pb.cached)
+            hit_ratio = self.pb.vector_hit_ratio(subnet)
+            self.pb.record_serve(subnet)
+            last_served = subnet
+
+            cache_load_ms = 0.0
+            if (i + 1) % self.cache_update_period == 0 and last_served is not None:
+                subgraph = truncate_to_capacity(
+                    CachedSubGraph.from_subnet(last_served),
+                    self.pb.capacity_bytes,
+                    supernet=self.supernet,
+                )
+                fetched = self.pb.load(subgraph)
+                cache_load_ms = self.accel.cache_load_latency_ms(fetched)
+
+            records.append(
+                QueryRecord(
+                    query_index=query.index,
+                    accuracy_constraint=query.accuracy_constraint,
+                    latency_constraint_ms=query.latency_constraint_ms,
+                    subnet_name=subnet.name,
+                    served_accuracy=self.accuracy_model.accuracy(subnet),
+                    served_latency_ms=breakdown.latency_ms,
+                    cache_hit_ratio=hit_ratio,
+                    offchip_energy_mj=breakdown.offchip_energy_mj,
+                    cache_load_ms=cache_load_ms,
+                )
+            )
+        return records

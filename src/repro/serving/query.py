@@ -1,0 +1,94 @@
+"""Queries and query traces.
+
+Each inference query arrives annotated with an (accuracy, latency) constraint
+pair ``(A_t, L_t)`` — the interface the whole paper assumes.  A
+:class:`QueryTrace` is an ordered stream of such queries, optionally with
+arrival times for open-loop experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Query:
+    """One inference query with its service constraints.
+
+    Attributes
+    ----------
+    index:
+        Position in the stream.
+    accuracy_constraint:
+        Minimum acceptable top-1 accuracy, as a fraction (e.g. ``0.78``).
+    latency_constraint_ms:
+        Maximum acceptable serving latency in milliseconds.
+    arrival_ms:
+        Arrival timestamp (0 for closed-loop streams).
+    """
+
+    index: int
+    accuracy_constraint: float
+    latency_constraint_ms: float
+    arrival_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.accuracy_constraint < 1.0):
+            raise ValueError(
+                f"query {self.index}: accuracy constraint must be in (0, 1), "
+                f"got {self.accuracy_constraint}"
+            )
+        if self.latency_constraint_ms <= 0:
+            raise ValueError(
+                f"query {self.index}: latency constraint must be positive, "
+                f"got {self.latency_constraint_ms}"
+            )
+        if self.arrival_ms < 0:
+            raise ValueError(f"query {self.index}: arrival time must be >= 0")
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """An ordered stream of queries."""
+
+    queries: tuple[Query, ...]
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise ValueError("a query trace needs at least one query")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __getitem__(self, idx: int) -> Query:
+        return self.queries[idx]
+
+    @property
+    def accuracy_constraints(self) -> list[float]:
+        return [q.accuracy_constraint for q in self.queries]
+
+    @property
+    def latency_constraints_ms(self) -> list[float]:
+        return [q.latency_constraint_ms for q in self.queries]
+
+    @classmethod
+    def from_constraints(
+        cls,
+        accuracy_constraints: Sequence[float],
+        latency_constraints_ms: Sequence[float],
+        *,
+        name: str = "trace",
+    ) -> "QueryTrace":
+        """Build a trace from parallel constraint lists."""
+        if len(accuracy_constraints) != len(latency_constraints_ms):
+            raise ValueError("constraint lists must have equal length")
+        queries = tuple(
+            Query(index=i, accuracy_constraint=a, latency_constraint_ms=l)
+            for i, (a, l) in enumerate(zip(accuracy_constraints, latency_constraints_ms))
+        )
+        return cls(queries=queries, name=name)

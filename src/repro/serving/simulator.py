@@ -1,0 +1,169 @@
+"""Open-loop serving simulator: arrivals, queueing and SLO attainment.
+
+The paper motivates SUSHI with latency-SLO attainment under *variable query
+traffic* (Section 1): during transient overloads a high-accuracy model drops
+queries, while a low-accuracy model wastes quality headroom when load is low.
+The closed-loop experiments of Fig. 15/16 serve one query at a time; this
+module adds the open-loop view: queries arrive on a Poisson process, wait in a
+FIFO queue for the single accelerator, and attain their latency SLO only if
+queueing delay plus serving latency stays within the constraint.
+
+This is an extension beyond the paper's plotted results, but it exercises the
+same stack end to end and quantifies the intro's motivating claim: a
+latency/accuracy-navigating scheduler attains more SLOs across load levels
+than any single static model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.metrics import QueryRecord
+from repro.serving.query import Query, QueryTrace
+from repro.serving.stack import SushiStack
+
+
+@dataclass(frozen=True)
+class SimulatedQueryOutcome:
+    """Timing of one query in the open-loop simulation (all in ms)."""
+
+    query_index: int
+    arrival_ms: float
+    start_ms: float
+    service_ms: float
+    latency_constraint_ms: float
+    served_accuracy: float
+
+    @property
+    def completion_ms(self) -> float:
+        return self.start_ms + self.service_ms
+
+    @property
+    def queueing_ms(self) -> float:
+        return self.start_ms - self.arrival_ms
+
+    @property
+    def response_ms(self) -> float:
+        """Queueing delay plus service time — what the SLO is judged against."""
+        return self.completion_ms - self.arrival_ms
+
+    @property
+    def meets_slo(self) -> bool:
+        return self.response_ms <= self.latency_constraint_ms
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate outcome of one open-loop run."""
+
+    outcomes: tuple[SimulatedQueryOutcome, ...]
+    offered_load: float
+    """Mean arrival rate x mean service time (rho); > 1 means overload."""
+
+    @property
+    def slo_attainment(self) -> float:
+        return float(np.mean([o.meets_slo for o in self.outcomes]))
+
+    @property
+    def mean_response_ms(self) -> float:
+        return float(np.mean([o.response_ms for o in self.outcomes]))
+
+    @property
+    def p99_response_ms(self) -> float:
+        return float(np.percentile([o.response_ms for o in self.outcomes], 99))
+
+    @property
+    def mean_queueing_ms(self) -> float:
+        return float(np.mean([o.queueing_ms for o in self.outcomes]))
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean([o.served_accuracy for o in self.outcomes]))
+
+
+def poisson_arrivals(
+    num_queries: int, rate_per_ms: float, *, rng: np.random.Generator
+) -> np.ndarray:
+    """Cumulative arrival timestamps (ms) of a Poisson process."""
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    if rate_per_ms <= 0:
+        raise ValueError("rate_per_ms must be positive")
+    gaps = rng.exponential(scale=1.0 / rate_per_ms, size=num_queries)
+    return np.cumsum(gaps)
+
+
+class OpenLoopSimulator:
+    """Single-server FIFO simulation of a serving system.
+
+    Parameters
+    ----------
+    serve_fn:
+        Maps a :class:`QueryTrace` to per-query records whose
+        ``served_latency_ms`` / ``served_accuracy`` are used as the service
+        time and quality of each query.  Both the SUSHI stack and the
+        baselines satisfy this interface.
+    """
+
+    def __init__(self, serve_fn: Callable[[QueryTrace], Sequence[QueryRecord]]) -> None:
+        self.serve_fn = serve_fn
+
+    @classmethod
+    def from_stack(cls, stack: SushiStack) -> "OpenLoopSimulator":
+        def _serve(trace: QueryTrace) -> Sequence[QueryRecord]:
+            stack.reset()
+            return stack.serve(trace)
+
+        return cls(_serve)
+
+    def run(
+        self,
+        trace: QueryTrace,
+        *,
+        arrival_rate_per_ms: float,
+        seed: int = 0,
+    ) -> SimulationResult:
+        """Simulate ``trace`` arriving at ``arrival_rate_per_ms`` (queries/ms)."""
+        rng = np.random.default_rng(seed)
+        arrivals = poisson_arrivals(len(trace), arrival_rate_per_ms, rng=rng)
+        records = list(self.serve_fn(trace))
+        if len(records) != len(trace):
+            raise ValueError(
+                f"serve_fn returned {len(records)} records for {len(trace)} queries"
+            )
+
+        outcomes: list[SimulatedQueryOutcome] = []
+        server_free_at = 0.0
+        for query, arrival, record in zip(trace, arrivals, records):
+            start = max(arrival, server_free_at)
+            service = record.served_latency_ms
+            server_free_at = start + service
+            outcomes.append(
+                SimulatedQueryOutcome(
+                    query_index=query.index,
+                    arrival_ms=float(arrival),
+                    start_ms=float(start),
+                    service_ms=float(service),
+                    latency_constraint_ms=query.latency_constraint_ms,
+                    served_accuracy=record.served_accuracy,
+                )
+            )
+        mean_service = float(np.mean([r.served_latency_ms for r in records]))
+        offered_load = arrival_rate_per_ms * mean_service
+        return SimulationResult(outcomes=tuple(outcomes), offered_load=offered_load)
+
+    def load_sweep(
+        self,
+        trace: QueryTrace,
+        arrival_rates_per_ms: Sequence[float],
+        *,
+        seed: int = 0,
+    ) -> dict[float, SimulationResult]:
+        """Run the same trace at several arrival rates (a load curve)."""
+        return {
+            rate: self.run(trace, arrival_rate_per_ms=rate, seed=seed)
+            for rate in arrival_rates_per_ms
+        }

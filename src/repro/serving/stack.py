@@ -1,0 +1,155 @@
+"""SUSHI: the vertically integrated serving stack.
+
+Wires the three components together exactly as Fig. 4 describes: queries
+enter with (accuracy, latency) constraints, SushiSched consults SushiAbs (the
+latency table) to pick the SubNet and — every ``Q`` queries — the next cached
+SubGraph; SushiAccel (the analytic accelerator model plus its Persistent
+Buffer) then serves the query and enacts the caching decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.persistent_buffer import CachedSubGraph, PersistentBuffer
+from repro.accelerator.platforms import ANALYTIC_DEFAULT, PlatformConfig
+from repro.core.candidates import CandidateSet, build_candidate_set
+from repro.core.latency_table import LatencyTable
+from repro.core.metrics import QueryRecord
+from repro.core.policies import Policy
+from repro.core.scheduler import SushiSched
+from repro.serving.query import QueryTrace
+from repro.supernet.accuracy import AccuracyModel
+from repro.supernet.subnet import SubNet
+from repro.supernet.supernet import SuperNet
+from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+
+@dataclass(frozen=True)
+class SushiStackConfig:
+    """Configuration of a SUSHI serving stack instance.
+
+    Attributes
+    ----------
+    supernet_name:
+        Which SuperNet family to serve (``"ofa_resnet50"`` / ``"ofa_mobilenetv3"``).
+    platform:
+        Accelerator platform configuration.
+    policy:
+        Scheduling policy (STRICT_ACCURACY or STRICT_LATENCY).
+    cache_update_period:
+        ``Q``, the number of queries between caching decisions.
+    candidate_set_size:
+        Target ``|S|`` (None keeps the structural candidates only).
+    seed:
+        Seed for the scheduler's random initial cache state.
+    """
+
+    supernet_name: str = "ofa_resnet50"
+    platform: PlatformConfig = ANALYTIC_DEFAULT
+    policy: Policy = Policy.STRICT_ACCURACY
+    cache_update_period: int = 4
+    candidate_set_size: int | None = None
+    seed: int = 0
+
+
+class SushiStack:
+    """The full SUSHI stack: SushiSched + SushiAbs + SushiAccel (+ PB)."""
+
+    def __init__(
+        self,
+        config: SushiStackConfig | None = None,
+        *,
+        supernet: SuperNet | None = None,
+        subnets: Sequence[SubNet] | None = None,
+        accel: SushiAccelModel | None = None,
+        accuracy_model: AccuracyModel | None = None,
+        candidates: CandidateSet | None = None,
+    ) -> None:
+        self.config = config or SushiStackConfig()
+        self.supernet = supernet or load_supernet(self.config.supernet_name)
+        self.subnets = list(subnets) if subnets is not None else paper_pareto_subnets(self.supernet)
+        self.accel = accel or SushiAccelModel(self.config.platform)
+        self.accuracy_model = accuracy_model or AccuracyModel(self.supernet)
+
+        pb_capacity = max(self.accel.pb_capacity_bytes, 1)
+        self.candidates = candidates or build_candidate_set(
+            self.subnets,
+            capacity_bytes=pb_capacity,
+            max_size=self.config.candidate_set_size,
+        )
+        self.table = LatencyTable.build(
+            self.subnets,
+            self.candidates,
+            latency_fn=self.accel.subnet_latency_ms,
+            accuracy_fn=self.accuracy_model.accuracy,
+        )
+        rng = np.random.default_rng(self.config.seed)
+        self.scheduler = SushiSched(
+            self.table,
+            self.supernet,
+            policy=self.config.policy,
+            cache_update_period=self.config.cache_update_period,
+            rng=rng,
+        )
+        self.pb: PersistentBuffer = self.accel.make_persistent_buffer()
+        # Enact the scheduler's initial (random) cache state on the hardware.
+        self._enact_cache(self.scheduler.cache_state_idx)
+
+    # ------------------------------------------------------------ serving
+    def _enact_cache(self, candidate_idx: int) -> float:
+        """Load candidate SubGraph ``candidate_idx`` into the PB; return ms spent."""
+        subgraph = self.candidates[candidate_idx]
+        fetched = self.pb.load(subgraph)
+        return self.accel.cache_load_latency_ms(fetched)
+
+    def serve(self, trace: QueryTrace) -> list[QueryRecord]:
+        """Serve a query stream end to end; returns per-query records."""
+        records: list[QueryRecord] = []
+        for query in trace:
+            decision = self.scheduler.schedule(
+                accuracy_constraint=query.accuracy_constraint,
+                latency_constraint_ms=query.latency_constraint_ms,
+            )
+            subnet = self.subnets[decision.subnet_idx]
+            breakdown = self.accel.subnet_breakdown(subnet, self.pb.cached)
+            hit_ratio = self.pb.vector_hit_ratio(subnet)
+            self.pb.record_serve(subnet)
+
+            cache_load_ms = 0.0
+            if decision.cache_updated:
+                # The caching decision is enacted after the query completes;
+                # its cost is amortized off the query critical path but
+                # recorded for accounting.
+                cache_load_ms = self._enact_cache(decision.next_cache_state_idx)
+
+            records.append(
+                QueryRecord(
+                    query_index=query.index,
+                    accuracy_constraint=query.accuracy_constraint,
+                    latency_constraint_ms=query.latency_constraint_ms,
+                    subnet_name=subnet.name,
+                    served_accuracy=self.accuracy_model.accuracy(subnet),
+                    served_latency_ms=breakdown.latency_ms,
+                    cache_hit_ratio=hit_ratio,
+                    offchip_energy_mj=breakdown.offchip_energy_mj,
+                    cache_load_ms=cache_load_ms,
+                )
+            )
+        return records
+
+    # ------------------------------------------------------------- state
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Byte-level PB hit ratio accumulated so far."""
+        return self.pb.stats.byte_hit_ratio
+
+    def reset(self) -> None:
+        """Reset scheduler history and PB contents (keeps the latency table)."""
+        self.scheduler.reset()
+        self.pb = self.accel.make_persistent_buffer()
+        self._enact_cache(self.scheduler.cache_state_idx)

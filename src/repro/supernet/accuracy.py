@@ -1,0 +1,120 @@
+"""Calibrated accuracy model for SubNets.
+
+The paper's evaluation assigns each Pareto SubNet a fixed top-1 accuracy
+(ResNet50 SubNets span roughly 75-80 %, MobileNetV3 SubNets 76-80 %).  Since
+no experiment performs real inference, this reproduction uses a monotone,
+saturating accuracy model over SubNet capacity (FLOPs and parameter bytes),
+calibrated so the Pareto families land in the paper's accuracy ranges.
+
+The model is deliberately simple and documented: ``acc = a_max - span *
+exp(-k * normalized_capacity)``, with per-family calibration anchors.  It
+preserves the two properties every experiment relies on:
+
+1. accuracy is a fixed attribute of a SubNet (independent of caching), and
+2. larger SubNets are monotonically more accurate, producing a non-trivial
+   latency/accuracy Pareto frontier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.supernet.subnet import SubNet
+from repro.supernet.supernet import SuperNet
+
+
+@dataclass(frozen=True)
+class AccuracyCalibration:
+    """Family-specific anchors for the accuracy model.
+
+    Attributes
+    ----------
+    min_accuracy:
+        Top-1 accuracy (fraction) of the smallest SubNet in the family.
+    max_accuracy:
+        Top-1 accuracy of the largest SubNet.
+    curvature:
+        Shape parameter of the saturating exponential; larger values make the
+        accuracy saturate faster with capacity.
+    """
+
+    min_accuracy: float
+    max_accuracy: float
+    curvature: float = 2.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.min_accuracy < self.max_accuracy < 1.0):
+            raise ValueError(
+                "calibration requires 0 < min_accuracy < max_accuracy < 1, got "
+                f"{self.min_accuracy}, {self.max_accuracy}"
+            )
+        if self.curvature <= 0:
+            raise ValueError("curvature must be positive")
+
+
+# Calibrations matching the accuracy ranges visible in the paper's Fig. 10/15.
+DEFAULT_CALIBRATIONS: dict[str, AccuracyCalibration] = {
+    "ofa_resnet50": AccuracyCalibration(min_accuracy=0.750, max_accuracy=0.802),
+    "ofa_mobilenetv3": AccuracyCalibration(min_accuracy=0.758, max_accuracy=0.803),
+}
+
+
+class AccuracyModel:
+    """Maps SubNets of one SuperNet family to deterministic top-1 accuracy."""
+
+    def __init__(
+        self,
+        supernet: SuperNet,
+        calibration: AccuracyCalibration | None = None,
+    ) -> None:
+        self.supernet = supernet
+        if calibration is None:
+            calibration = DEFAULT_CALIBRATIONS.get(
+                supernet.name, AccuracyCalibration(0.70, 0.80)
+            )
+        self.calibration = calibration
+        # Capacity normalization anchors: the min / max SubNets of the family.
+        from repro.supernet.subnet import max_subnet, min_subnet  # local import to avoid cycle
+
+        self._min_capacity = self._capacity(min_subnet(supernet))
+        self._max_capacity = self._capacity(max_subnet(supernet))
+        if self._max_capacity <= self._min_capacity:
+            raise ValueError(
+                f"{supernet.name}: degenerate capacity range "
+                f"[{self._min_capacity}, {self._max_capacity}]"
+            )
+
+    @staticmethod
+    def _capacity(subnet: SubNet) -> float:
+        """Scalar capacity proxy combining compute and parameters.
+
+        The geometric mean of FLOPs and weight bytes captures that both depth
+        (FLOPs-heavy) and width (parameter-heavy) scaling improve accuracy.
+        """
+        return math.sqrt(float(subnet.flops) * float(subnet.weight_bytes))
+
+    def normalized_capacity(self, subnet: SubNet) -> float:
+        """Capacity mapped to [0, 1] over the family's min/max SubNets."""
+        cap = self._capacity(subnet)
+        norm = (cap - self._min_capacity) / (self._max_capacity - self._min_capacity)
+        return min(max(norm, 0.0), 1.0)
+
+    def accuracy(self, subnet: SubNet) -> float:
+        """Deterministic top-1 accuracy (fraction in (0, 1)) for a SubNet."""
+        if subnet.supernet.name != self.supernet.name:
+            raise ValueError(
+                f"SubNet belongs to {subnet.supernet.name}, "
+                f"model calibrated for {self.supernet.name}"
+            )
+        cal = self.calibration
+        x = self.normalized_capacity(subnet)
+        # Saturating exponential through the (0, min) and (1, max) anchors.
+        span = cal.max_accuracy - cal.min_accuracy
+        denom = 1.0 - math.exp(-cal.curvature)
+        rise = (1.0 - math.exp(-cal.curvature * x)) / denom
+        return cal.min_accuracy + span * rise
+
+    def accuracy_percent(self, subnet: SubNet) -> float:
+        """Accuracy expressed in percent (paper-style, e.g. ``78.3``)."""
+        return 100.0 * self.accuracy(subnet)

@@ -1,0 +1,145 @@
+"""OFA-MobileNetV3 SuperNet definition.
+
+Structural reproduction of the weight-shared MobileNetV3-Large supernet
+("MobV3" in the paper).  Elastic dimensions follow OFA:
+
+* elastic depth: 2-4 inverted-residual blocks per stage,
+* elastic expand ratio: {3, 4, 6},
+* width multiplier fixed at 1.0 (OFA-MobileNetV3 does not expose width).
+
+SubNet weight footprints (int8) span roughly 2-5 MB, consistent with the
+paper's reported [2.97 MB, 4.74 MB] range with about 2.9 MB shared between
+every SubNet.
+"""
+
+from __future__ import annotations
+
+from repro.supernet.blocks import MBConvBlock
+from repro.supernet.layers import ConvLayerSpec, LayerKind
+from repro.supernet.stages import HeadSpec, StageSpec, StemSpec
+from repro.supernet.supernet import ElasticConfig, SuperNet
+
+#: Per-stage (in_channels, out_channels, kernel_size, stride, use_se, input_hw).
+STAGE_SETTINGS: tuple[tuple[int, int, int, int, bool, int], ...] = (
+    (16, 24, 3, 2, False, 112),
+    (24, 40, 5, 2, True, 56),
+    (40, 80, 3, 2, False, 28),
+    (80, 112, 3, 1, True, 14),
+    (112, 160, 5, 2, True, 14),
+)
+
+#: Maximum number of MBConv blocks per stage.
+MAX_DEPTH_PER_STAGE: int = 4
+
+#: Elastic dimension choices (OFA-MobileNetV3).
+ELASTIC = ElasticConfig(
+    depth_choices=(2, 3, 4),
+    expand_choices=(3.0, 4.0, 6.0),
+    width_choices=(1.0,),
+)
+
+
+def _build_stem(input_hw: int) -> StemSpec:
+    """MobileNetV3 stem: 3x3 stride-2 conv plus the first (expand=1) MBConv."""
+    return StemSpec(
+        layers=(
+            ConvLayerSpec(
+                name="stem.conv",
+                kind=LayerKind.CONV,
+                in_channels=3,
+                out_channels=16,
+                kernel_size=3,
+                input_hw=input_hw,
+                stride=2,
+            ),
+            ConvLayerSpec(
+                name="stem.mbconv_dw",
+                kind=LayerKind.DEPTHWISE_CONV,
+                in_channels=16,
+                out_channels=16,
+                kernel_size=3,
+                input_hw=input_hw // 2,
+                stride=1,
+                groups=16,
+            ),
+            ConvLayerSpec(
+                name="stem.mbconv_pw",
+                kind=LayerKind.POINTWISE_CONV,
+                in_channels=16,
+                out_channels=16,
+                kernel_size=1,
+                input_hw=input_hw // 2,
+                stride=1,
+            ),
+        )
+    )
+
+
+def _build_head() -> HeadSpec:
+    """MobileNetV3 head: final 1x1 expansion conv plus the classifier."""
+    final_channels = STAGE_SETTINGS[-1][1]
+    return HeadSpec(
+        layers=(
+            ConvLayerSpec(
+                name="head.final_expand",
+                kind=LayerKind.POINTWISE_CONV,
+                in_channels=final_channels,
+                out_channels=960,
+                kernel_size=1,
+                input_hw=7,
+                stride=1,
+            ),
+            ConvLayerSpec(
+                name="head.fc",
+                kind=LayerKind.LINEAR,
+                in_channels=960,
+                out_channels=1000,
+                kernel_size=1,
+                input_hw=1,
+            ),
+        )
+    )
+
+
+def _build_stage(
+    index: int,
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int,
+    stride: int,
+    use_se: bool,
+    input_hw: int,
+) -> StageSpec:
+    """One elastic MobileNetV3 stage of ``MAX_DEPTH_PER_STAGE`` MBConv blocks."""
+    blocks = []
+    output_hw = max(1, -(-input_hw // stride))
+    for j in range(MAX_DEPTH_PER_STAGE):
+        is_first = j == 0
+        blocks.append(
+            MBConvBlock(
+                name=f"stage{index + 1}.block{j + 1}",
+                in_channels=in_channels if is_first else out_channels,
+                out_channels=out_channels,
+                input_hw=input_hw if is_first else output_hw,
+                stride=stride if is_first else 1,
+                kernel_size=kernel_size,
+                max_expand_ratio=ELASTIC.max_expand,
+                use_se=use_se,
+            )
+        )
+    return StageSpec(name=f"stage{index + 1}", blocks=tuple(blocks), min_depth=2)
+
+
+def build_ofa_mobilenetv3(input_hw: int = 224) -> SuperNet:
+    """Construct the OFA-MobileNetV3 SuperNet structural model."""
+    stages = []
+    for i, (in_ch, out_ch, k, s, se, hw) in enumerate(STAGE_SETTINGS):
+        stages.append(_build_stage(i, in_ch, out_ch, k, s, se, hw))
+    return SuperNet(
+        "ofa_mobilenetv3",
+        stem=_build_stem(input_hw),
+        stages=stages,
+        head=_build_head(),
+        elastic=ELASTIC,
+        input_hw=input_hw,
+    )

@@ -1,0 +1,112 @@
+"""OFA-ResNet50 SuperNet definition.
+
+Structural reproduction of the weight-shared ResNet50 supernet used by the
+paper (Cai et al., "Once-for-All", 2019; weight-shared version referenced in
+SUSHI Section 5.1).  The elastic dimensions follow OFA-ResNet:
+
+* elastic depth: 2-4 bottleneck blocks per stage,
+* elastic expand ratio: {0.2, 0.25, 0.35} scaling the bottleneck width,
+* elastic width multiplier: {0.65, 0.8, 1.0}.
+
+The resulting SubNet weight footprints (int8) span roughly 8-28 MB, matching
+the paper's reported [7.58 MB, 27.47 MB] range, with the smallest SubNet's
+weights (shared by every other SubNet) around 7.5 MB.
+"""
+
+from __future__ import annotations
+
+from repro.supernet.blocks import BottleneckBlock
+from repro.supernet.layers import ConvLayerSpec, LayerKind
+from repro.supernet.stages import HeadSpec, StageSpec, StemSpec
+from repro.supernet.supernet import ElasticConfig, SuperNet
+
+#: Channel width of each ResNet50 stage (at width multiplier 1.0).
+STAGE_CHANNELS: tuple[int, ...] = (256, 512, 1024, 2048)
+
+#: Spatial resolution entering each stage for a 224x224 input.
+STAGE_RESOLUTIONS: tuple[int, ...] = (56, 28, 14, 7)
+
+#: Maximum number of bottleneck blocks per stage.
+MAX_DEPTH_PER_STAGE: int = 4
+
+#: Elastic dimension choices (OFA-ResNet50).
+ELASTIC = ElasticConfig(
+    depth_choices=(2, 3, 4),
+    expand_choices=(0.2, 0.25, 0.35),
+    width_choices=(0.65, 0.8, 1.0),
+)
+
+
+def _build_stem(input_hw: int) -> StemSpec:
+    """ResNet50 stem: a 7x7 stride-2 convolution (batch-norm folded)."""
+    return StemSpec(
+        layers=(
+            ConvLayerSpec(
+                name="stem.conv",
+                kind=LayerKind.CONV,
+                in_channels=3,
+                out_channels=64,
+                kernel_size=7,
+                input_hw=input_hw,
+                stride=2,
+            ),
+        )
+    )
+
+
+def _build_head() -> HeadSpec:
+    """ResNet50 head: global pooling (free) + 1000-way classifier."""
+    return HeadSpec(
+        layers=(
+            ConvLayerSpec(
+                name="head.fc",
+                kind=LayerKind.LINEAR,
+                in_channels=STAGE_CHANNELS[-1],
+                out_channels=1000,
+                kernel_size=1,
+                input_hw=1,
+            ),
+        )
+    )
+
+
+def _build_stage(
+    index: int, in_channels: int, out_channels: int, input_hw: int
+) -> StageSpec:
+    """One elastic ResNet stage of ``MAX_DEPTH_PER_STAGE`` bottleneck blocks."""
+    blocks = []
+    # Stage 1 keeps 56px (stride 1); later stages downsample on their first block.
+    first_stride = 1 if index == 0 else 2
+    block_input_hw = input_hw if index == 0 else input_hw * 2
+    for j in range(MAX_DEPTH_PER_STAGE):
+        is_first = j == 0
+        blocks.append(
+            BottleneckBlock(
+                name=f"stage{index + 1}.block{j + 1}",
+                in_channels=in_channels if is_first else out_channels,
+                out_channels=out_channels,
+                input_hw=block_input_hw if is_first else input_hw,
+                stride=first_stride if is_first else 1,
+                kernel_size=3,
+                max_expand_ratio=ELASTIC.max_expand,
+                has_projection=is_first,
+            )
+        )
+    return StageSpec(name=f"stage{index + 1}", blocks=tuple(blocks), min_depth=2)
+
+
+def build_ofa_resnet50(input_hw: int = 224) -> SuperNet:
+    """Construct the OFA-ResNet50 SuperNet structural model."""
+    stages = []
+    prev_channels = 64
+    for i, (channels, hw) in enumerate(zip(STAGE_CHANNELS, STAGE_RESOLUTIONS)):
+        stages.append(_build_stage(i, prev_channels, channels, hw))
+        prev_channels = channels
+    return SuperNet(
+        "ofa_resnet50",
+        stem=_build_stem(input_hw),
+        stages=stages,
+        head=_build_head(),
+        elastic=ELASTIC,
+        input_hw=input_hw,
+    )

@@ -1,0 +1,78 @@
+"""Latency/accuracy Pareto frontier extraction.
+
+The paper serves a sequence of SubNets drawn from the Pareto frontier of the
+latency/accuracy trade-off (6 for ResNet50, 7 for MobileNetV3).  This module
+provides the generic frontier computation used by the model zoo and by the
+scheduler's feasibility analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.supernet.subnet import SubNet
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of the latency/accuracy trade-off space."""
+
+    subnet: SubNet
+    latency_ms: float
+    accuracy: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is no worse in both objectives and better in one."""
+        no_worse = self.latency_ms <= other.latency_ms and self.accuracy >= other.accuracy
+        better = self.latency_ms < other.latency_ms or self.accuracy > other.accuracy
+        return no_worse and better
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Return the non-dominated subset, sorted by ascending latency.
+
+    Ties in latency keep only the highest-accuracy point; the result is
+    strictly increasing in both latency and accuracy (a usable frontier for
+    the scheduler's argmin/argmax selections).
+    """
+    pts = sorted(points, key=lambda p: (p.latency_ms, -p.accuracy))
+    frontier: list[ParetoPoint] = []
+    best_acc = float("-inf")
+    for p in pts:
+        if p.accuracy > best_acc:
+            frontier.append(p)
+            best_acc = p.accuracy
+    return frontier
+
+
+def build_pareto_points(
+    subnets: Sequence[SubNet],
+    latency_fn: Callable[[SubNet], float],
+    accuracy_fn: Callable[[SubNet], float],
+) -> list[ParetoPoint]:
+    """Evaluate latency/accuracy for each SubNet and wrap into ParetoPoints."""
+    return [
+        ParetoPoint(subnet=sn, latency_ms=latency_fn(sn), accuracy=accuracy_fn(sn))
+        for sn in subnets
+    ]
+
+
+def frontier_coverage(
+    frontier: Sequence[ParetoPoint], candidates: Sequence[ParetoPoint]
+) -> float:
+    """Fraction of candidate points that lie on (or equal) the frontier.
+
+    A diagnostic used in tests: the model-zoo Pareto families should be fully
+    non-dominated (coverage == 1.0 when candidates are the family itself).
+    """
+    if not candidates:
+        return 1.0
+    frontier_set = {(p.subnet.name, p.latency_ms, p.accuracy) for p in frontier}
+    hits = sum(
+        1
+        for c in candidates
+        if (c.subnet.name, c.latency_ms, c.accuracy) in frontier_set
+        or not any(f.dominates(c) for f in frontier)
+    )
+    return hits / len(candidates)

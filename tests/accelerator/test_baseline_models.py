@@ -1,0 +1,75 @@
+"""Unit tests for the CPU and Xilinx DPU baseline latency models."""
+
+import pytest
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.cpu_model import CPUModel
+from repro.accelerator.dpu_model import XilinxDPUModel
+from repro.accelerator.platforms import ZCU104
+from repro.supernet.layers import LayerKind
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CPUModel()
+
+
+@pytest.fixture(scope="module")
+def dpu():
+    return XilinxDPUModel()
+
+
+class TestCPUModel:
+    def test_latency_positive_and_monotone(self, cpu, resnet50_subnets):
+        latencies = [cpu.subnet_latency_ms(sn) for sn in resnet50_subnets]
+        assert all(l > 0 for l in latencies)
+        assert latencies == sorted(latencies)
+
+    def test_includes_framework_overhead(self, cpu, resnet50_subnets):
+        assert cpu.subnet_latency_ms(resnet50_subnets[0]) > cpu.framework_overhead_ms
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            CPUModel(compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CPUModel(memory_efficiency=1.5)
+
+    def test_sushiaccel_speedup_in_paper_range(self, cpu, zcu104_model, resnet50_subnets):
+        # Fig. 13a: SushiAccel w/ PB on ZCU104 is 1.87-3.17x faster than CPU.
+        for subnet in resnet50_subnets:
+            speedup = cpu.subnet_latency_ms(subnet) / zcu104_model.subnet_latency_ms(subnet)
+            assert 1.2 < speedup < 5.0
+
+
+class TestXilinxDPUModel:
+    def test_layer_latency_positive(self, dpu, resnet50_subnets):
+        for layer in resnet50_subnets[0].active_layers():
+            if layer.kind == LayerKind.CONV:
+                assert dpu.layer_latency_ms(layer) > 0
+
+    def test_macs_per_cycle_close_to_table2(self, dpu):
+        # Table 2: 2304 ops/cycle = 1152 MACs/cycle.
+        assert 800 <= dpu.macs_per_cycle <= 1400
+
+    def test_subnet_latency_monotone(self, dpu, resnet50_subnets):
+        latencies = [dpu.subnet_latency_ms(sn) for sn in resnet50_subnets]
+        assert latencies == sorted(latencies)
+
+    def test_sushiaccel_beats_dpu_on_average(self, dpu, resnet50_subnets):
+        # Fig. 14: geometric-mean speedup of ~25% on the min SubNet's 3x3 convs.
+        from repro.analysis.comparison import geometric_mean_speedup
+        from repro.accelerator.dataflow import layer_latency
+
+        sushi = SushiAccelModel(ZCU104, with_pb=False)
+        min_subnet = resnet50_subnets[0]
+        dpu_ms, sushi_ms = [], []
+        for layer in min_subnet.active_layers():
+            if layer.kind == LayerKind.CONV and layer.kernel_size == 3:
+                dpu_ms.append(dpu.layer_latency_ms(layer))
+                ll = layer_latency(
+                    layer, sushi.dpe, sushi.dram,
+                    sb_capacity_bytes=sushi.buffers["SB"].capacity_bytes,
+                    ob_capacity_bytes=sushi.buffers["OB"].capacity_bytes,
+                )
+                sushi_ms.append(sushi.dram.cycles_to_ms(ll.total_cycles))
+        assert geometric_mean_speedup(dpu_ms, sushi_ms) > 1.05

@@ -1,0 +1,59 @@
+"""Unit tests for the DRAM model."""
+
+import pytest
+
+from repro.accelerator.dram import DRAMModel
+from repro.accelerator.platforms import ALVEO_U50, ANALYTIC_DEFAULT
+
+
+@pytest.fixture
+def dram():
+    return DRAMModel(bandwidth_gbps=19.2, clock_mhz=100.0)
+
+
+class TestTransfer:
+    def test_bytes_per_cycle(self, dram):
+        assert dram.bytes_per_cycle == pytest.approx(192.0)
+
+    def test_zero_bytes_is_free(self, dram):
+        assert dram.transfer_cycles(0) == 0.0
+        assert dram.transfer_ms(0) == 0.0
+
+    def test_burst_rounding(self, dram):
+        # 1 byte still costs one 64-byte burst.
+        assert dram.transfer_cycles(1) == pytest.approx(64 / 192.0)
+
+    def test_linear_in_bytes(self, dram):
+        assert dram.transfer_cycles(192_000) == pytest.approx(1000.0)
+        assert dram.transfer_cycles(384_000) == pytest.approx(2000.0)
+
+    def test_cycles_to_ms(self, dram):
+        assert dram.cycles_to_ms(100_000) == pytest.approx(1.0)
+
+    def test_transfer_ms_1mb(self, dram):
+        # 1 MB at 19.2 GB/s is ~52 microseconds.
+        assert dram.transfer_ms(1_000_000) == pytest.approx(0.0521, rel=0.05)
+
+    def test_from_platform_uses_effective_bandwidth(self):
+        model = DRAMModel.from_platform(ALVEO_U50)
+        assert model.bandwidth_gbps == pytest.approx(ALVEO_U50.effective_bandwidth_gbps)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMModel(bandwidth_gbps=0, clock_mhz=100)
+        with pytest.raises(ValueError):
+            DRAMModel(bandwidth_gbps=10, clock_mhz=0)
+        with pytest.raises(ValueError):
+            DRAMModel(bandwidth_gbps=10, clock_mhz=100, burst_bytes=0)
+
+
+class TestEnergy:
+    def test_off_chip_energy_linear(self, dram):
+        assert dram.off_chip_energy_mj(2_000_000) == pytest.approx(2 * dram.off_chip_energy_mj(1_000_000))
+
+    def test_on_chip_cheaper_than_off_chip(self, dram):
+        nbytes = 1_000_000
+        assert dram.on_chip_energy_mj(nbytes) < dram.off_chip_energy_mj(nbytes)
+
+    def test_negative_bytes_clamped(self, dram):
+        assert dram.off_chip_energy_mj(-5) == 0.0

@@ -1,0 +1,73 @@
+"""Unit tests for the design-space explorer (Fig. 12)."""
+
+import pytest
+
+from repro.accelerator.dse import DesignPoint, DesignSpaceExplorer
+from repro.accelerator.platforms import ANALYTIC_DEFAULT
+
+
+@pytest.fixture(scope="module")
+def explorer(request):
+    from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+    subnets = paper_pareto_subnets(load_supernet("ofa_mobilenetv3"))
+    return DesignSpaceExplorer(subnets, base_platform=ANALYTIC_DEFAULT)
+
+
+class TestDesignPoint:
+    def test_time_save_percent(self):
+        point = DesignPoint(
+            pb_kb=1024, bandwidth_gbps=19.2, macs_per_cycle=6480,
+            mean_latency_no_pb_ms=10.0, mean_latency_with_pb_ms=9.0,
+        )
+        assert point.time_save_percent == pytest.approx(10.0)
+
+    def test_zero_baseline_guard(self):
+        point = DesignPoint(
+            pb_kb=0, bandwidth_gbps=19.2, macs_per_cycle=6480,
+            mean_latency_no_pb_ms=0.0, mean_latency_with_pb_ms=0.0,
+        )
+        assert point.time_save_percent == 0.0
+
+
+class TestExplorer:
+    def test_empty_subnets_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer([])
+
+    def test_zero_pb_saves_nothing(self, explorer):
+        assert explorer.evaluate(pb_kb=0).time_save_percent == 0.0
+
+    def test_saving_positive_with_pb(self, explorer):
+        assert explorer.evaluate(pb_kb=1728).time_save_percent > 0.0
+
+    def test_larger_pb_saves_more(self, explorer):
+        small = explorer.evaluate(pb_kb=256).time_save_percent
+        large = explorer.evaluate(pb_kb=3456).time_save_percent
+        assert large > small
+
+    def test_lower_bandwidth_increases_relative_saving(self, explorer):
+        slow = explorer.evaluate(pb_kb=1728, bandwidth_gbps=9.6).time_save_percent
+        fast = explorer.evaluate(pb_kb=1728, bandwidth_gbps=38.4).time_save_percent
+        assert slow > fast
+
+    def test_more_compute_increases_relative_saving(self, explorer):
+        weak = explorer.evaluate(pb_kb=1728, macs_per_cycle=1296).time_save_percent
+        strong = explorer.evaluate(pb_kb=1728, macs_per_cycle=6480).time_save_percent
+        assert strong >= weak
+
+    def test_sweep_size(self, explorer):
+        points = explorer.sweep(
+            pb_kb_values=(512, 1728),
+            bandwidth_values_gbps=(9.6, 19.2),
+            macs_per_cycle_values=(1296,),
+        )
+        assert len(points) == 4
+
+    def test_best_point_is_maximum(self, explorer):
+        points = explorer.sweep(
+            pb_kb_values=(512, 1728), bandwidth_values_gbps=(9.6, 19.2),
+            macs_per_cycle_values=(1296,),
+        )
+        best = explorer.best_point(points)
+        assert best.time_save_percent == max(p.time_save_percent for p in points)

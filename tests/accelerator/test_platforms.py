@@ -1,0 +1,66 @@
+"""Unit tests for platform configurations."""
+
+import pytest
+
+from repro.accelerator.platforms import (
+    ALVEO_U50,
+    ANALYTIC_DEFAULT,
+    CPU_I7_10750H,
+    PlatformConfig,
+    XILINX_DPU_ZCU104,
+    ZCU104,
+    platform_by_name,
+)
+
+
+class TestPlatformConfig:
+    def test_analytic_default_matches_paper(self):
+        # 19.2 GB/s and 1.296 TFLOPS at 100 MHz (Section 5.2).
+        assert ANALYTIC_DEFAULT.off_chip_bandwidth_gbps == 19.2
+        assert ANALYTIC_DEFAULT.peak_tflops == pytest.approx(1.296, rel=1e-6)
+
+    def test_zcu104_peak_matches_table2(self):
+        # 2592 ops/cycle -> 259.2 GFLOPS at 100 MHz.
+        assert 2 * ZCU104.macs_per_cycle == 2592
+        assert ZCU104.peak_gflops == pytest.approx(259.2)
+
+    def test_alveo_peak_matches_table2(self):
+        assert 2 * ALVEO_U50.macs_per_cycle == 9216
+        assert ALVEO_U50.peak_gflops == pytest.approx(921.6)
+
+    def test_dpu_peak_matches_table2(self):
+        assert 2 * XILINX_DPU_ZCU104.macs_per_cycle == 2304
+
+    def test_off_chip_bytes_per_cycle(self):
+        assert ANALYTIC_DEFAULT.off_chip_bytes_per_cycle == pytest.approx(192.0)
+
+    def test_alveo_contention_reduces_effective_bandwidth(self):
+        assert ALVEO_U50.effective_bandwidth_gbps < ALVEO_U50.off_chip_bandwidth_gbps
+
+    def test_without_pb_variant(self):
+        variant = ZCU104.without_pb()
+        assert not variant.has_pb
+        assert variant.total_buffer_kb == ZCU104.total_buffer_kb
+
+    def test_with_pb_variant(self):
+        variant = ZCU104.with_pb(512)
+        assert variant.pb_kb == 512
+
+    def test_scaled_variant(self):
+        variant = ANALYTIC_DEFAULT.scaled(bandwidth_gbps=9.6, kp=8, cp=8)
+        assert variant.off_chip_bandwidth_gbps == 9.6
+        assert variant.macs_per_cycle == 8 * 8 * 9
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(name="bad", clock_mhz=0, kp=1, cp=1)
+        with pytest.raises(ValueError):
+            PlatformConfig(name="bad", clock_mhz=100, kp=1, cp=1, pb_kb=100, total_buffer_kb=50)
+        with pytest.raises(ValueError):
+            PlatformConfig(name="bad", clock_mhz=100, kp=1, cp=1, dram_contention_factor=0.5)
+
+    def test_platform_by_name(self):
+        assert platform_by_name("zcu104") is ZCU104
+        assert platform_by_name("cpu-i7-10750h") is CPU_I7_10750H
+        with pytest.raises(ValueError):
+            platform_by_name("tpu-v4")

@@ -1,0 +1,89 @@
+"""Unit tests for FPGA resource estimation (Tables 2/3) and the reuse matrix."""
+
+import pytest
+
+from repro.accelerator.platforms import ALVEO_U50, ZCU104
+from repro.accelerator.resources import (
+    buffer_allocation_table,
+    estimate_resources,
+    resource_comparison_table,
+)
+from repro.accelerator.reuse_matrix import REUSE_COMPARISON, reuse_comparison_table
+
+
+class TestResourceEstimate:
+    def test_zcu104_lut_ballpark(self):
+        # Table 2: ~61k (w/o PB) and ~64k (w/ PB) LUTs.
+        without = estimate_resources(ZCU104, with_pb=False)
+        with_pb = estimate_resources(ZCU104, with_pb=True)
+        assert 40_000 < without.lut < 90_000
+        assert with_pb.lut > without.lut
+
+    def test_pb_costs_logic_not_storage(self):
+        # Total on-chip storage is held constant (Tab. 3), so the PB costs
+        # extra control logic (LUT/FF) rather than extra URAM.
+        without = estimate_resources(ZCU104, with_pb=False)
+        with_pb = estimate_resources(ZCU104, with_pb=True)
+        assert with_pb.uram >= without.uram
+        assert with_pb.register > without.register
+
+    def test_dsp_scales_with_array(self):
+        zcu = estimate_resources(ZCU104, with_pb=True)
+        alveo = estimate_resources(ALVEO_U50, with_pb=True)
+        assert alveo.dsp > zcu.dsp
+
+    def test_peak_ops_match_platform(self):
+        est = estimate_resources(ZCU104, with_pb=True)
+        assert est.peak_ops_per_cycle == 2 * ZCU104.macs_per_cycle
+        assert est.gflops_100mhz == pytest.approx(259.2)
+
+    def test_utilization_fractions(self):
+        est = estimate_resources(ZCU104, with_pb=True)
+        util = est.utilization()
+        assert set(util) == {"LUT", "Register", "BRAM", "URAM", "DSP"}
+        assert all(0 <= v <= 1.2 for v in util.values())
+
+    def test_utilization_unknown_device_raises(self):
+        est = estimate_resources(ZCU104.scaled(name="mystery"), with_pb=True)
+        with pytest.raises(ValueError):
+            est.utilization()
+
+    def test_comparison_table_has_four_rows(self):
+        rows = resource_comparison_table()
+        assert len(rows) == 4
+        assert all("LUT" in row for row in rows.values())
+
+
+class TestBufferAllocationTable:
+    def test_both_configurations_present(self):
+        table = buffer_allocation_table(ZCU104)
+        assert set(table) == {"with_pb_kb", "without_pb_kb"}
+
+    def test_pb_only_in_with_pb(self):
+        table = buffer_allocation_table(ZCU104)
+        assert table["with_pb_kb"]["PB"] > 0
+        assert table["without_pb_kb"]["PB"] == 0
+
+    def test_overall_total_consistent(self):
+        table = buffer_allocation_table(ZCU104)
+        for config, rows in table.items():
+            parts = sum(v for k, v in rows.items() if k != "Overall")
+            assert rows["Overall"] == pytest.approx(parts, rel=1e-6)
+
+
+class TestReuseMatrix:
+    def test_only_sushi_has_subgraph_reuse(self):
+        for entry in REUSE_COMPARISON:
+            if entry.name == "SUSHI":
+                assert entry.subgraph_reuse_spatial and entry.subgraph_reuse_temporal
+            else:
+                assert not entry.subgraph_reuse_spatial
+                assert not entry.subgraph_reuse_temporal
+
+    def test_table_rows_match_paper(self):
+        table = reuse_comparison_table()
+        assert set(table) == {"MAERI", "NVDLA", "Eyeriss", "Xilinx DPU", "SUSHI"}
+
+    def test_values_are_yes_no(self):
+        for row in reuse_comparison_table().values():
+            assert set(row.values()) <= {"yes", "no"}

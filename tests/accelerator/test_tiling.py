@@ -1,0 +1,69 @@
+"""Unit tests for weight-tile decomposition."""
+
+import pytest
+
+from repro.accelerator.dpe import DPEArrayConfig
+from repro.accelerator.tiling import first_tile_bytes, tile_layer
+from repro.supernet.layers import ConvLayerSpec, LayerKind
+
+
+@pytest.fixture
+def dpe():
+    return DPEArrayConfig(kp=16, cp=9)
+
+
+def conv(kind=LayerKind.CONV, in_ch=64, out_ch=128, k=3, hw=28, groups=1):
+    return ConvLayerSpec(
+        name="l", kind=kind, in_channels=in_ch, out_channels=out_ch,
+        kernel_size=k, input_hw=hw, groups=groups,
+    )
+
+
+class TestTileLayer:
+    def test_tiles_cover_layer(self, dpe):
+        layer = conv()
+        tile = tile_layer(layer, dpe)
+        assert tile.total_bytes >= layer.weight_bytes
+
+    def test_pool_has_no_tiles(self, dpe):
+        tile = tile_layer(conv(kind=LayerKind.POOL), dpe)
+        assert tile.num_tiles == 0
+        assert tile.tile_bytes == 0
+
+    def test_tile_kernels_bounded_by_kp(self, dpe):
+        tile = tile_layer(conv(out_ch=512), dpe)
+        assert tile.kernels <= dpe.kp
+
+    def test_small_layer_single_tile(self, dpe):
+        layer = conv(in_ch=8, out_ch=8)
+        assert tile_layer(layer, dpe).num_tiles == 1
+
+    def test_db_capacity_shrinks_tiles(self, dpe):
+        layer = conv(out_ch=512, in_ch=256)
+        unconstrained = tile_layer(layer, dpe)
+        constrained = tile_layer(layer, dpe, db_capacity_bytes=unconstrained.tile_bytes // 2)
+        assert constrained.tile_bytes <= unconstrained.tile_bytes
+        assert constrained.num_tiles >= unconstrained.num_tiles
+
+    def test_depthwise_tiles(self, dpe):
+        layer = conv(kind=LayerKind.DEPTHWISE_CONV, in_ch=128, out_ch=128, groups=128)
+        tile = tile_layer(layer, dpe)
+        assert tile.channels == 1
+        assert tile.num_tiles >= 128 // dpe.kp
+
+    def test_pointwise_channel_cover(self, dpe):
+        layer = conv(k=1, in_ch=256, out_ch=64)
+        tile = tile_layer(layer, dpe)
+        assert tile.channels <= dpe.cp * dpe.dpe_size
+
+
+class TestFirstTileBytes:
+    def test_bounded_by_layer(self, dpe):
+        layer = conv(in_ch=8, out_ch=8)
+        assert first_tile_bytes(layer, dpe) <= layer.weight_bytes
+
+    def test_zero_for_pool(self, dpe):
+        assert first_tile_bytes(conv(kind=LayerKind.POOL), dpe) == 0
+
+    def test_positive_for_conv(self, dpe):
+        assert first_tile_bytes(conv(), dpe) > 0

@@ -1,0 +1,72 @@
+"""Unit tests for the analysis helpers (reporting, comparisons, intensities)."""
+
+import pytest
+
+from repro.analysis.arithmetic_intensity import (
+    layer_arithmetic_intensities,
+    subnet_arithmetic_intensity_series,
+)
+from repro.analysis.comparison import geometric_mean_speedup, speedup_series
+from repro.analysis.reporting import format_kv, format_series, format_table
+
+
+class TestReporting:
+    def test_format_table_alignment_and_content(self):
+        rows = {"a": {"x": 1.2345, "y": True}, "b": {"x": 2.0, "z": "text"}}
+        text = format_table(rows, title="T", precision=2)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in text and "yes" in text and "text" in text
+        # Missing cells render as empty strings without crashing.
+        assert "z" in lines[1]
+
+    def test_format_table_empty(self):
+        assert format_table({}, title="empty") == "empty"
+
+    def test_format_series(self):
+        text = format_series([1, 2], [0.5, 0.25], x_label="q", y_label="lat")
+        assert "q=1" in text and "lat" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], [1.0])
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1.5, "beta": "x"}, title="KV")
+        assert text.splitlines()[0] == "KV"
+        assert "alpha" in text and "1.500" in text
+
+
+class TestComparison:
+    def test_speedup_series(self):
+        assert speedup_series([2.0, 4.0], [1.0, 2.0]) == [2.0, 2.0]
+
+    def test_geomean(self):
+        assert geometric_mean_speedup([2.0, 8.0], [1.0, 1.0]) == pytest.approx(4.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_series([1.0], [1.0, 2.0])
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_series([0.0], [1.0])
+
+
+class TestArithmeticIntensity:
+    def test_series_lengths_match(self, resnet50_subnets):
+        subnet = resnet50_subnets[0]
+        ids, values = subnet_arithmetic_intensity_series(subnet)
+        assert len(ids) == len(values) > 0
+
+    def test_conv_only_filter(self, resnet50_subnets):
+        subnet = resnet50_subnets[0]
+        conv_ids, _ = subnet_arithmetic_intensity_series(subnet, conv_only=True)
+        all_ids, _ = subnet_arithmetic_intensity_series(subnet, conv_only=False)
+        assert len(conv_ids) < len(all_ids)
+
+    def test_caching_raises_intensities(self, resnet50_subnets):
+        layers = resnet50_subnets[0].active_layers()[:5]
+        base = layer_arithmetic_intensities(layers)
+        cached = layer_arithmetic_intensities(layers, cached_weight_bytes=10**9)
+        assert all(c >= b for b, c in zip(base, cached))

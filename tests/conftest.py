@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+SuperNet construction and Pareto-family materialization are pure and cheap
+but used by almost every test module, so they are provided as session-scoped
+fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.platforms import ANALYTIC_DEFAULT, ZCU104
+from repro.supernet.accuracy import AccuracyModel
+from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    return load_supernet("ofa_resnet50")
+
+
+@pytest.fixture(scope="session")
+def mobilenetv3():
+    return load_supernet("ofa_mobilenetv3")
+
+
+@pytest.fixture(scope="session")
+def resnet50_subnets(resnet50):
+    return paper_pareto_subnets(resnet50)
+
+
+@pytest.fixture(scope="session")
+def mobilenetv3_subnets(mobilenetv3):
+    return paper_pareto_subnets(mobilenetv3)
+
+
+@pytest.fixture(scope="session")
+def resnet50_accuracy(resnet50):
+    return AccuracyModel(resnet50)
+
+
+@pytest.fixture(scope="session")
+def analytic_model():
+    return SushiAccelModel(ANALYTIC_DEFAULT, with_pb=True)
+
+
+@pytest.fixture(scope="session")
+def analytic_model_no_pb():
+    return SushiAccelModel(ANALYTIC_DEFAULT, with_pb=False)
+
+
+@pytest.fixture(scope="session")
+def zcu104_model():
+    return SushiAccelModel(ZCU104, with_pb=True)

@@ -1,0 +1,85 @@
+"""Unit tests for the caching-policy ablations."""
+
+import pytest
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.platforms import ANALYTIC_DEFAULT
+from repro.core.ablations import (
+    FrequencyPolicy,
+    MostRecentPolicy,
+    NeverCachePolicy,
+    RunningAveragePolicy,
+    StaticSharedPolicy,
+)
+from repro.core.candidates import build_candidate_set
+from repro.experiments import ablation_caching
+
+
+@pytest.fixture(scope="module")
+def setup(mobilenetv3, mobilenetv3_subnets):
+    accel = SushiAccelModel(ANALYTIC_DEFAULT, with_pb=True)
+    candidates = build_candidate_set(
+        mobilenetv3_subnets, capacity_bytes=accel.pb_capacity_bytes
+    )
+    return mobilenetv3, mobilenetv3_subnets, candidates
+
+
+class TestPolicies:
+    def test_never_cache_keeps_current(self):
+        policy = NeverCachePolicy()
+        assert policy.propose(3) == 3
+
+    def test_static_policy_always_fixed(self):
+        policy = StaticSharedPolicy(fixed_idx=2)
+        policy.observe(5)
+        assert policy.propose(0) == 2
+        with pytest.raises(ValueError):
+            StaticSharedPolicy(fixed_idx=-1)
+
+    def test_most_recent_tracks_last(self, setup):
+        supernet, subnets, candidates = setup
+        policy = MostRecentPolicy(subnets, candidates, supernet)
+        assert policy.propose(1) == 1  # nothing observed yet
+        policy.observe(0)
+        first = policy.propose(1)
+        policy.observe(len(subnets) - 1)
+        second = policy.propose(1)
+        assert 0 <= first < len(candidates)
+        assert 0 <= second < len(candidates)
+
+    def test_frequency_prefers_modal_subnet(self, setup):
+        supernet, subnets, candidates = setup
+        policy = FrequencyPolicy(subnets, candidates, supernet, window=8)
+        for idx in (0, 0, 0, 5):
+            policy.observe(idx)
+        modal = policy.propose(0)
+        only_five = FrequencyPolicy(subnets, candidates, supernet, window=8)
+        only_five.observe(5)
+        assert modal != only_five.propose(0) or len(candidates) == 1
+
+    def test_running_average_matches_scheduler_rule(self, setup):
+        supernet, subnets, candidates = setup
+        policy = RunningAveragePolicy(subnets, candidates, supernet, window=2)
+        assert policy.propose(4) == 4  # no history yet
+        policy.observe(2)
+        policy.observe(2)
+        proposal = policy.propose(0)
+        assert 0 <= proposal < len(candidates)
+
+    def test_invalid_windows_rejected(self, setup):
+        supernet, subnets, candidates = setup
+        with pytest.raises(ValueError):
+            FrequencyPolicy(subnets, candidates, supernet, window=0)
+        with pytest.raises(ValueError):
+            RunningAveragePolicy(subnets, candidates, supernet, window=0)
+
+
+class TestAblationExperiment:
+    def test_run_and_report(self):
+        result = ablation_caching.run("ofa_mobilenetv3", num_queries=60)
+        names = {o.policy_name for o in result.outcomes}
+        assert names == {"never", "static-shared", "most-recent", "frequency", "running-average"}
+        outcomes = result.by_name()
+        assert outcomes["running-average"].mean_byte_hit_ratio > outcomes["never"].mean_byte_hit_ratio
+        assert outcomes["never"].cache_reload_bytes == 0
+        assert "Ablation" in ablation_caching.report(result)

@@ -1,0 +1,98 @@
+"""Unit tests for the SushiAbs latency lookup table."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.platforms import ANALYTIC_DEFAULT
+from repro.core.candidates import build_candidate_set
+from repro.core.latency_table import LatencyTable
+from repro.supernet.accuracy import AccuracyModel
+
+
+@pytest.fixture(scope="module")
+def table(request):
+    from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+    supernet = load_supernet("ofa_mobilenetv3")
+    subnets = paper_pareto_subnets(supernet)
+    accel = SushiAccelModel(ANALYTIC_DEFAULT, with_pb=True)
+    candidates = build_candidate_set(subnets, capacity_bytes=accel.pb_capacity_bytes)
+    accuracy = AccuracyModel(supernet)
+    return LatencyTable.build(subnets, candidates, accel.subnet_latency_ms, accuracy.accuracy)
+
+
+class TestConstruction:
+    def test_shape(self, table):
+        assert table.latencies_ms.shape == (table.num_subnets, table.num_subgraphs)
+
+    def test_all_latencies_positive(self, table):
+        assert np.all(table.latencies_ms > 0)
+
+    def test_shape_mismatch_rejected(self, table):
+        with pytest.raises(ValueError):
+            LatencyTable(table.subnets, table.candidates, np.ones((2, 2)), table.accuracies)
+
+    def test_bad_accuracy_rejected(self, table):
+        bad_acc = np.ones(table.num_subnets)  # accuracy of exactly 1.0 invalid
+        with pytest.raises(ValueError):
+            LatencyTable(table.subnets, table.candidates, table.latencies_ms, bad_acc)
+
+    def test_nonpositive_latency_rejected(self, table):
+        bad = table.latencies_ms.copy()
+        bad[0, 0] = 0.0
+        with pytest.raises(ValueError):
+            LatencyTable(table.subnets, table.candidates, bad, table.accuracies)
+
+
+class TestLookups:
+    def test_latency_lookup_matches_matrix(self, table):
+        assert table.latency(0, 0) == pytest.approx(float(table.latencies_ms[0, 0]))
+
+    def test_lookup_timer_accumulates(self, table):
+        before = table.timer.lookups
+        table.latency(1, 0)
+        assert table.timer.lookups == before + 1
+        assert table.timer.mean_microseconds >= 0
+
+    def test_column_vector(self, table):
+        col = table.column(0)
+        assert col.shape == (table.num_subnets,)
+
+    def test_subnet_index_roundtrip(self, table):
+        for i, sn in enumerate(table.subnets):
+            assert table.subnet_index(sn) == i
+
+    def test_unknown_subnet_raises(self, table, resnet50_subnets):
+        with pytest.raises(KeyError):
+            table.subnet_index(resnet50_subnets[0])
+
+    def test_best_under_accuracy_feasible(self, table):
+        idx = table.best_under_accuracy(0.76, 0)
+        assert idx is not None
+        assert table.accuracy(idx) >= 0.76
+
+    def test_best_under_accuracy_is_fastest_feasible(self, table):
+        bound = 0.77
+        idx = table.best_under_accuracy(bound, 0)
+        col = table.column(0)
+        feasible = [i for i in range(table.num_subnets) if table.accuracy(i) >= bound]
+        assert col[idx] == min(col[i] for i in feasible)
+
+    def test_best_under_accuracy_infeasible_returns_none(self, table):
+        assert table.best_under_accuracy(0.999, 0) is None
+
+    def test_best_under_latency_feasible(self, table):
+        loose = float(table.latencies_ms.max()) + 1.0
+        idx = table.best_under_latency(loose, 0)
+        assert idx is not None
+        # With every SubNet feasible, the most accurate one must be selected.
+        assert table.accuracy(idx) == pytest.approx(float(table.accuracies.max()))
+
+    def test_best_under_latency_infeasible_returns_none(self, table):
+        assert table.best_under_latency(1e-6, 0) is None
+
+    def test_summary_fields(self, table):
+        summary = table.summary()
+        assert summary["num_subnets"] == table.num_subnets
+        assert summary["min_latency_ms"] <= summary["max_latency_ms"]

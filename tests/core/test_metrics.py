@@ -1,0 +1,85 @@
+"""Unit tests for serving metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    QueryRecord,
+    accuracy_improvement_points,
+    energy_saving_percent,
+    latency_improvement_percent,
+    summarize_records,
+)
+
+
+def record(i=0, lat=5.0, lat_bound=6.0, acc=0.78, acc_bound=0.77, **kwargs):
+    return QueryRecord(
+        query_index=i,
+        accuracy_constraint=acc_bound,
+        latency_constraint_ms=lat_bound,
+        subnet_name="A",
+        served_accuracy=acc,
+        served_latency_ms=lat,
+        **kwargs,
+    )
+
+
+class TestQueryRecord:
+    def test_slo_flags(self):
+        assert record().meets_latency
+        assert record().meets_accuracy
+        assert not record(lat=10.0).meets_latency
+        assert not record(acc=0.70).meets_accuracy
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_records([])
+
+    def test_basic_aggregation(self):
+        records = [record(i, lat=float(i + 1)) for i in range(4)]
+        metrics = summarize_records(records)
+        assert metrics.num_queries == 4
+        assert metrics.mean_latency_ms == pytest.approx(2.5)
+        assert metrics.p50_latency_ms == pytest.approx(2.5)
+        assert metrics.mean_accuracy == pytest.approx(0.78)
+
+    def test_slo_attainment(self):
+        records = [record(0), record(1, lat=10.0)]
+        metrics = summarize_records(records)
+        assert metrics.latency_slo_attainment == pytest.approx(0.5)
+        assert metrics.accuracy_slo_attainment == pytest.approx(1.0)
+
+    def test_energy_and_cache_load_totals(self):
+        records = [record(0, offchip_energy_mj=1.0, cache_load_ms=0.5),
+                   record(1, offchip_energy_mj=2.0)]
+        metrics = summarize_records(records)
+        assert metrics.total_offchip_energy_mj == pytest.approx(3.0)
+        assert metrics.total_cache_load_ms == pytest.approx(0.5)
+
+    def test_as_dict_roundtrip(self):
+        metrics = summarize_records([record()])
+        d = metrics.as_dict()
+        assert d["num_queries"] == 1
+        assert "mean_latency_ms" in d
+
+
+class TestImprovements:
+    def test_latency_improvement(self):
+        base = summarize_records([record(lat=10.0)])
+        better = summarize_records([record(lat=8.0)])
+        assert latency_improvement_percent(base, better) == pytest.approx(20.0)
+
+    def test_accuracy_improvement_points(self):
+        base = summarize_records([record(acc=0.78)])
+        better = summarize_records([record(acc=0.7898)])
+        assert accuracy_improvement_points(base, better) == pytest.approx(0.98, abs=1e-6)
+
+    def test_energy_saving(self):
+        base = summarize_records([record(offchip_energy_mj=10.0)])
+        better = summarize_records([record(offchip_energy_mj=2.13)])
+        assert energy_saving_percent(base, better) == pytest.approx(78.7)
+
+    def test_zero_baseline_guards(self):
+        base = summarize_records([record(offchip_energy_mj=0.0)])
+        assert energy_saving_percent(base, base) == 0.0

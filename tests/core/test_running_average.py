@@ -1,0 +1,70 @@
+"""Unit tests for the running-average SubNet encoding (AvgNet)."""
+
+import numpy as np
+import pytest
+
+from repro.core.running_average import RunningAverageNet
+
+
+class TestRunningAverageNet:
+    def test_initially_empty(self):
+        avg = RunningAverageNet(dimension=4, window=3)
+        assert avg.is_empty
+        assert np.array_equal(avg.value(), np.zeros(4))
+
+    def test_single_update(self):
+        avg = RunningAverageNet(dimension=3, window=4)
+        avg.update(np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(avg.value(), np.array([1.0, 2.0, 3.0]))
+
+    def test_mean_of_window(self):
+        avg = RunningAverageNet(dimension=2, window=2)
+        avg.update(np.array([0.0, 0.0]))
+        avg.update(np.array([2.0, 4.0]))
+        assert np.array_equal(avg.value(), np.array([1.0, 2.0]))
+
+    def test_window_evicts_oldest(self):
+        avg = RunningAverageNet(dimension=1, window=2)
+        avg.update(np.array([10.0]))
+        avg.update(np.array([2.0]))
+        avg.update(np.array([4.0]))
+        assert avg.value()[0] == pytest.approx(3.0)
+        assert avg.count == 2
+
+    def test_reset(self):
+        avg = RunningAverageNet(dimension=2, window=2)
+        avg.update(np.ones(2))
+        avg.reset()
+        assert avg.is_empty
+
+    def test_history_copies(self):
+        avg = RunningAverageNet(dimension=2, window=2)
+        vec = np.ones(2)
+        avg.update(vec)
+        history = avg.history()
+        history[0][0] = 99.0
+        assert avg.value()[0] == 1.0
+
+    def test_update_does_not_alias_input(self):
+        avg = RunningAverageNet(dimension=2, window=2)
+        vec = np.ones(2)
+        avg.update(vec)
+        vec[0] = 50.0
+        assert avg.value()[0] == 1.0
+
+    def test_dimension_mismatch_rejected(self):
+        avg = RunningAverageNet(dimension=3, window=2)
+        with pytest.raises(ValueError):
+            avg.update(np.ones(4))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RunningAverageNet(dimension=0, window=1)
+        with pytest.raises(ValueError):
+            RunningAverageNet(dimension=1, window=0)
+
+    def test_window_one_tracks_last(self):
+        avg = RunningAverageNet(dimension=1, window=1)
+        avg.update(np.array([5.0]))
+        avg.update(np.array([7.0]))
+        assert avg.value()[0] == 7.0

@@ -1,0 +1,56 @@
+"""Property-based tests on Persistent Buffer capacity and hit invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.persistent_buffer import CachedSubGraph, PersistentBuffer
+from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+_SUPERNET = load_supernet("ofa_mobilenetv3")
+_SUBNETS = paper_pareto_subnets(_SUPERNET)
+_MAX_BYTES = max(sn.weight_bytes for sn in _SUBNETS)
+
+capacities = st.integers(min_value=0, max_value=2 * _MAX_BYTES)
+subnet_idx = st.integers(min_value=0, max_value=len(_SUBNETS) - 1)
+
+
+class TestPBInvariants:
+    @given(capacities, subnet_idx)
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, capacity, idx):
+        pb = PersistentBuffer(capacity)
+        pb.load(CachedSubGraph.from_subnet(_SUBNETS[idx]))
+        assert pb.occupancy_bytes <= pb.capacity_bytes
+
+    @given(capacities, subnet_idx, subnet_idx)
+    @settings(max_examples=40, deadline=None)
+    def test_hit_bytes_bounded(self, capacity, cache_idx, serve_idx):
+        pb = PersistentBuffer(capacity)
+        pb.load(CachedSubGraph.from_subnet(_SUBNETS[cache_idx]))
+        served = _SUBNETS[serve_idx]
+        hits = pb.hit_bytes(served)
+        assert 0 <= hits <= min(pb.occupancy_bytes, served.weight_bytes)
+
+    @given(subnet_idx, subnet_idx)
+    @settings(max_examples=30, deadline=None)
+    def test_reload_fetch_never_exceeds_new_contents(self, first_idx, second_idx):
+        pb = PersistentBuffer(10**9)
+        pb.load(CachedSubGraph.from_subnet(_SUBNETS[first_idx]))
+        fetched = pb.load(CachedSubGraph.from_subnet(_SUBNETS[second_idx]))
+        assert 0 <= fetched <= _SUBNETS[second_idx].weight_bytes
+
+    @given(capacities, subnet_idx)
+    @settings(max_examples=40, deadline=None)
+    def test_vector_hit_ratio_in_unit_interval(self, capacity, idx):
+        pb = PersistentBuffer(capacity)
+        pb.load(CachedSubGraph.from_subnet(_SUBNETS[idx]))
+        for subnet in _SUBNETS:
+            assert 0.0 <= pb.vector_hit_ratio(subnet) <= 1.0 + 1e-12
+
+    @given(subnet_idx)
+    @settings(max_examples=20, deadline=None)
+    def test_unbounded_pb_full_hit_on_cached_subnet(self, idx):
+        pb = PersistentBuffer(10**9)
+        subnet = _SUBNETS[idx]
+        pb.load(CachedSubGraph.from_subnet(subnet))
+        assert pb.hit_bytes(subnet) == subnet.weight_bytes

@@ -1,0 +1,88 @@
+"""Property-based tests on scheduler and latency-model invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.persistent_buffer import CachedSubGraph
+from repro.accelerator.platforms import ANALYTIC_DEFAULT
+from repro.core.candidates import build_candidate_set
+from repro.core.latency_table import LatencyTable
+from repro.core.policies import Policy, select_subnet
+from repro.core.running_average import RunningAverageNet
+from repro.supernet.accuracy import AccuracyModel
+from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+_SUPERNET = load_supernet("ofa_mobilenetv3")
+_SUBNETS = paper_pareto_subnets(_SUPERNET)
+_ACCEL = SushiAccelModel(ANALYTIC_DEFAULT, with_pb=True)
+_CANDIDATES = build_candidate_set(_SUBNETS, capacity_bytes=_ACCEL.pb_capacity_bytes)
+_ACCURACY = AccuracyModel(_SUPERNET)
+_TABLE = LatencyTable.build(_SUBNETS, _CANDIDATES, _ACCEL.subnet_latency_ms, _ACCURACY.accuracy)
+
+acc_bounds = st.floats(min_value=0.70, max_value=0.85)
+lat_bounds = st.floats(min_value=0.05, max_value=5.0)
+cache_idxs = st.integers(min_value=0, max_value=len(_CANDIDATES) - 1)
+
+
+class TestPolicyProperties:
+    @given(acc_bounds, lat_bounds, cache_idxs)
+    @settings(max_examples=60, deadline=None)
+    def test_selection_always_valid_index(self, acc, lat, cache_idx):
+        for policy in (Policy.STRICT_ACCURACY, Policy.STRICT_LATENCY):
+            idx = select_subnet(
+                _TABLE, policy, accuracy_constraint=acc,
+                latency_constraint_ms=lat, cache_state_idx=cache_idx,
+            )
+            assert 0 <= idx < _TABLE.num_subnets
+
+    @given(acc_bounds, cache_idxs)
+    @settings(max_examples=60, deadline=None)
+    def test_strict_accuracy_feasibility(self, acc, cache_idx):
+        idx = select_subnet(
+            _TABLE, Policy.STRICT_ACCURACY, accuracy_constraint=acc,
+            latency_constraint_ms=1.0, cache_state_idx=cache_idx,
+        )
+        feasible_exists = bool(np.any(_TABLE.accuracies >= acc))
+        if feasible_exists:
+            assert _TABLE.accuracy(idx) >= acc
+
+    @given(lat_bounds, cache_idxs)
+    @settings(max_examples=60, deadline=None)
+    def test_strict_latency_feasibility(self, lat, cache_idx):
+        idx = select_subnet(
+            _TABLE, Policy.STRICT_LATENCY, accuracy_constraint=0.8,
+            latency_constraint_ms=lat, cache_state_idx=cache_idx,
+        )
+        col = _TABLE.column(cache_idx)
+        if bool(np.any(col <= lat)):
+            assert col[idx] <= lat
+
+
+class TestLatencyModelProperties:
+    @given(st.integers(min_value=0, max_value=len(_SUBNETS) - 1), cache_idxs)
+    @settings(max_examples=40, deadline=None)
+    def test_caching_never_hurts_latency(self, subnet_idx, cache_idx):
+        subnet = _SUBNETS[subnet_idx]
+        cached = _CANDIDATES[cache_idx]
+        assert _ACCEL.subnet_latency_ms(subnet, cached) <= _ACCEL.subnet_latency_ms(subnet) + 1e-9
+
+    @given(st.integers(min_value=0, max_value=len(_SUBNETS) - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_self_cache_is_best_possible(self, subnet_idx):
+        subnet = _SUBNETS[subnet_idx]
+        own = _ACCEL.subnet_latency_ms(subnet, CachedSubGraph.from_subnet(subnet))
+        for cached in _CANDIDATES:
+            assert own <= _ACCEL.subnet_latency_ms(subnet, cached) + 1e-9
+
+
+class TestRunningAverageProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60)
+    def test_average_within_observed_range(self, values, window):
+        avg = RunningAverageNet(dimension=1, window=window)
+        for v in values:
+            avg.update(np.array([v]))
+        recent = values[-window:]
+        assert min(recent) - 1e-9 <= avg.value()[0] <= max(recent) + 1e-9

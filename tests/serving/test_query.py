@@ -1,0 +1,46 @@
+"""Unit tests for Query and QueryTrace."""
+
+import pytest
+
+from repro.serving.query import Query, QueryTrace
+
+
+class TestQuery:
+    def test_valid_query(self):
+        q = Query(index=0, accuracy_constraint=0.78, latency_constraint_ms=10.0)
+        assert q.accuracy_constraint == 0.78
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            Query(index=0, accuracy_constraint=1.5, latency_constraint_ms=10.0)
+        with pytest.raises(ValueError):
+            Query(index=0, accuracy_constraint=0.0, latency_constraint_ms=10.0)
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Query(index=0, accuracy_constraint=0.78, latency_constraint_ms=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Query(index=0, accuracy_constraint=0.78, latency_constraint_ms=1.0, arrival_ms=-1)
+
+
+class TestQueryTrace:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            QueryTrace(queries=())
+
+    def test_from_constraints(self):
+        trace = QueryTrace.from_constraints([0.76, 0.79], [5.0, 8.0])
+        assert len(trace) == 2
+        assert trace[1].latency_constraint_ms == 8.0
+        assert trace.accuracy_constraints == [0.76, 0.79]
+        assert trace.latency_constraints_ms == [5.0, 8.0]
+
+    def test_from_constraints_length_mismatch(self):
+        with pytest.raises(ValueError):
+            QueryTrace.from_constraints([0.76], [5.0, 8.0])
+
+    def test_iteration_order(self):
+        trace = QueryTrace.from_constraints([0.76, 0.77, 0.78], [5.0, 6.0, 7.0])
+        assert [q.index for q in trace] == [0, 1, 2]

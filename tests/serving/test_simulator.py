@@ -1,0 +1,97 @@
+"""Unit tests for the open-loop serving simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import QueryRecord
+from repro.serving.query import QueryTrace
+from repro.serving.simulator import OpenLoopSimulator, poisson_arrivals
+
+
+def constant_service_fn(service_ms: float):
+    """A fake serving system with a fixed service time and accuracy."""
+
+    def _serve(trace: QueryTrace):
+        return [
+            QueryRecord(
+                query_index=q.index,
+                accuracy_constraint=q.accuracy_constraint,
+                latency_constraint_ms=q.latency_constraint_ms,
+                subnet_name="X",
+                served_accuracy=0.78,
+                served_latency_ms=service_ms,
+            )
+            for q in trace
+        ]
+
+    return _serve
+
+
+@pytest.fixture
+def trace():
+    return QueryTrace.from_constraints([0.77] * 50, [10.0] * 50)
+
+
+class TestPoissonArrivals:
+    def test_monotone_increasing(self):
+        arrivals = poisson_arrivals(100, 0.5, rng=np.random.default_rng(0))
+        assert np.all(np.diff(arrivals) > 0)
+
+    def test_mean_gap_matches_rate(self):
+        arrivals = poisson_arrivals(5000, 2.0, rng=np.random.default_rng(1))
+        assert np.mean(np.diff(arrivals)) == pytest.approx(0.5, rel=0.1)
+
+    def test_invalid_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 1.0, rng=rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0.0, rng=rng)
+
+
+class TestOpenLoopSimulator:
+    def test_fifo_no_overlap(self, trace):
+        sim = OpenLoopSimulator(constant_service_fn(2.0))
+        result = sim.run(trace, arrival_rate_per_ms=5.0, seed=0)
+        starts = [o.start_ms for o in result.outcomes]
+        completions = [o.completion_ms for o in result.outcomes]
+        for prev_end, nxt_start in zip(completions, starts[1:]):
+            assert nxt_start >= prev_end - 1e-9
+
+    def test_light_load_no_queueing(self, trace):
+        sim = OpenLoopSimulator(constant_service_fn(1.0))
+        result = sim.run(trace, arrival_rate_per_ms=0.01, seed=0)
+        # With a mean inter-arrival gap 100x the service time, queueing is
+        # negligible (a rare back-to-back arrival may add a small delay).
+        assert result.mean_queueing_ms < 0.1
+        assert result.slo_attainment == 1.0
+
+    def test_overload_degrades_slo(self, trace):
+        sim = OpenLoopSimulator(constant_service_fn(5.0))
+        light = sim.run(trace, arrival_rate_per_ms=0.05, seed=0)
+        heavy = sim.run(trace, arrival_rate_per_ms=2.0, seed=0)
+        assert heavy.offered_load > 1.0 > light.offered_load
+        assert heavy.slo_attainment < light.slo_attainment
+        assert heavy.mean_response_ms > light.mean_response_ms
+
+    def test_response_decomposition(self, trace):
+        sim = OpenLoopSimulator(constant_service_fn(2.0))
+        result = sim.run(trace, arrival_rate_per_ms=1.0, seed=3)
+        for o in result.outcomes:
+            assert o.response_ms == pytest.approx(o.queueing_ms + o.service_ms)
+
+    def test_record_count_mismatch_rejected(self, trace):
+        sim = OpenLoopSimulator(lambda t: constant_service_fn(1.0)(t)[:-1])
+        with pytest.raises(ValueError):
+            sim.run(trace, arrival_rate_per_ms=1.0)
+
+    def test_load_sweep_keys(self, trace):
+        sim = OpenLoopSimulator(constant_service_fn(1.0))
+        sweep = sim.load_sweep(trace, (0.1, 1.0), seed=0)
+        assert set(sweep) == {0.1, 1.0}
+
+    def test_deterministic_given_seed(self, trace):
+        sim = OpenLoopSimulator(constant_service_fn(1.5))
+        a = sim.run(trace, arrival_rate_per_ms=0.5, seed=9)
+        b = sim.run(trace, arrival_rate_per_ms=0.5, seed=9)
+        assert a.mean_response_ms == b.mean_response_ms

@@ -1,0 +1,118 @@
+"""Unit/integration tests for the SUSHI stack and baseline servers."""
+
+import pytest
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.platforms import ANALYTIC_DEFAULT
+from repro.core.policies import Policy
+from repro.serving.baselines import NoSushiServer, StateUnawareCachingServer
+from repro.serving.query import QueryTrace
+from repro.serving.stack import SushiStack, SushiStackConfig
+from repro.serving.workload import WorkloadGenerator, WorkloadSpec
+from repro.supernet.accuracy import AccuracyModel
+
+
+@pytest.fixture(scope="module")
+def trace():
+    spec = WorkloadSpec(
+        num_queries=40, accuracy_range=(0.758, 0.803), latency_range_ms=(0.3, 2.0)
+    )
+    return WorkloadGenerator(spec, seed=11).generate()
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return SushiStack(
+        SushiStackConfig(
+            supernet_name="ofa_mobilenetv3", policy=Policy.STRICT_ACCURACY,
+            cache_update_period=4, seed=0,
+        )
+    )
+
+
+class TestSushiStack:
+    def test_serve_produces_record_per_query(self, stack, trace):
+        stack.reset()
+        records = stack.serve(trace)
+        assert len(records) == len(trace)
+
+    def test_records_have_positive_latency(self, stack, trace):
+        stack.reset()
+        for r in stack.serve(trace):
+            assert r.served_latency_ms > 0
+            assert 0.0 <= r.cache_hit_ratio <= 1.0
+
+    def test_strict_accuracy_always_met(self, stack, trace):
+        stack.reset()
+        records = stack.serve(trace)
+        assert all(r.served_accuracy >= r.accuracy_constraint - 1e-9 for r in records)
+
+    def test_cache_hit_ratio_grows_with_serving(self, stack, trace):
+        stack.reset()
+        stack.serve(trace)
+        assert stack.cache_hit_ratio > 0.0
+
+    def test_reset_restores_fresh_state(self, stack, trace):
+        stack.reset()
+        first = stack.serve(trace)
+        stack.reset()
+        second = stack.serve(trace)
+        assert [r.subnet_name for r in first] == [r.subnet_name for r in second]
+        assert [r.served_latency_ms for r in first] == pytest.approx(
+            [r.served_latency_ms for r in second]
+        )
+
+    def test_pb_capacity_respected(self, stack):
+        assert stack.pb.occupancy_bytes <= stack.pb.capacity_bytes
+
+
+class TestBaselines:
+    @pytest.fixture(scope="class")
+    def shared(self, mobilenetv3, mobilenetv3_subnets):
+        accel = SushiAccelModel(ANALYTIC_DEFAULT, with_pb=True)
+        accel_no_pb = SushiAccelModel(ANALYTIC_DEFAULT, with_pb=False)
+        accuracy = AccuracyModel(mobilenetv3)
+        return mobilenetv3, mobilenetv3_subnets, accel, accel_no_pb, accuracy
+
+    def test_no_sushi_serves_all_queries(self, shared, trace):
+        supernet, subnets, _, accel_no_pb, accuracy = shared
+        server = NoSushiServer(supernet, subnets, accel_no_pb, accuracy)
+        records = server.serve(trace)
+        assert len(records) == len(trace)
+        assert all(r.cache_hit_ratio == 0.0 for r in records)
+
+    def test_no_sushi_strict_accuracy_met(self, shared, trace):
+        supernet, subnets, _, accel_no_pb, accuracy = shared
+        server = NoSushiServer(supernet, subnets, accel_no_pb, accuracy)
+        for r in server.serve(trace):
+            assert r.served_accuracy >= r.accuracy_constraint - 1e-9
+
+    def test_state_unaware_gets_cache_hits(self, shared, trace):
+        supernet, subnets, accel, _, accuracy = shared
+        server = StateUnawareCachingServer(
+            supernet, subnets, accel, accuracy, cache_update_period=4
+        )
+        records = server.serve(trace)
+        assert any(r.cache_hit_ratio > 0 for r in records[5:])
+
+    def test_state_unaware_invalid_period_rejected(self, shared):
+        supernet, subnets, accel, _, accuracy = shared
+        with pytest.raises(ValueError):
+            StateUnawareCachingServer(supernet, subnets, accel, accuracy, cache_update_period=0)
+
+    def test_sushi_no_worse_than_no_sushi(self, shared, stack, trace):
+        supernet, subnets, _, accel_no_pb, accuracy = shared
+        no_sushi = NoSushiServer(supernet, subnets, accel_no_pb, accuracy)
+        base = no_sushi.serve(trace)
+        stack.reset()
+        sushi = stack.serve(trace)
+        mean = lambda rs: sum(r.served_latency_ms for r in rs) / len(rs)
+        assert mean(sushi) <= mean(base) * 1.001
+
+    def test_strict_latency_policy_baseline(self, shared, trace):
+        supernet, subnets, _, accel_no_pb, accuracy = shared
+        server = NoSushiServer(
+            supernet, subnets, accel_no_pb, accuracy, policy=Policy.STRICT_LATENCY
+        )
+        records = server.serve(trace)
+        assert len(records) == len(trace)

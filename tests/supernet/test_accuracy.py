@@ -1,0 +1,52 @@
+"""Unit tests for the calibrated accuracy model."""
+
+import pytest
+
+from repro.supernet.accuracy import AccuracyCalibration, AccuracyModel
+from repro.supernet.subnet import max_subnet, min_subnet
+
+
+class TestAccuracyCalibration:
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyCalibration(min_accuracy=0.8, max_accuracy=0.7)
+        with pytest.raises(ValueError):
+            AccuracyCalibration(min_accuracy=0.0, max_accuracy=0.8)
+
+    def test_invalid_curvature_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyCalibration(min_accuracy=0.7, max_accuracy=0.8, curvature=0.0)
+
+
+class TestAccuracyModel:
+    def test_anchors_hit_calibration(self, resnet50, resnet50_accuracy):
+        cal = resnet50_accuracy.calibration
+        assert resnet50_accuracy.accuracy(min_subnet(resnet50)) == pytest.approx(cal.min_accuracy, abs=1e-9)
+        assert resnet50_accuracy.accuracy(max_subnet(resnet50)) == pytest.approx(cal.max_accuracy, abs=1e-9)
+
+    def test_monotone_over_pareto_family(self, resnet50_subnets, resnet50_accuracy):
+        accs = [resnet50_accuracy.accuracy(sn) for sn in resnet50_subnets]
+        assert accs == sorted(accs)
+        assert len(set(accs)) == len(accs)
+
+    def test_paper_accuracy_range(self, resnet50_subnets, resnet50_accuracy):
+        accs = [resnet50_accuracy.accuracy(sn) for sn in resnet50_subnets]
+        assert all(0.74 <= a <= 0.81 for a in accs)
+
+    def test_percent_helper(self, resnet50_subnets, resnet50_accuracy):
+        acc = resnet50_accuracy.accuracy(resnet50_subnets[0])
+        assert resnet50_accuracy.accuracy_percent(resnet50_subnets[0]) == pytest.approx(100 * acc)
+
+    def test_wrong_family_rejected(self, resnet50_accuracy, mobilenetv3_subnets):
+        with pytest.raises(ValueError):
+            resnet50_accuracy.accuracy(mobilenetv3_subnets[0])
+
+    def test_normalized_capacity_bounds(self, resnet50, resnet50_accuracy, resnet50_subnets):
+        for sn in resnet50_subnets:
+            assert 0.0 <= resnet50_accuracy.normalized_capacity(sn) <= 1.0
+
+    def test_deterministic(self, resnet50, resnet50_subnets):
+        a = AccuracyModel(resnet50)
+        b = AccuracyModel(resnet50)
+        for sn in resnet50_subnets:
+            assert a.accuracy(sn) == b.accuracy(sn)

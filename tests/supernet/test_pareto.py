@@ -1,0 +1,57 @@
+"""Unit tests for Pareto-frontier extraction."""
+
+import pytest
+
+from repro.supernet.pareto import ParetoPoint, build_pareto_points, pareto_frontier
+from repro.supernet.accuracy import AccuracyModel
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.platforms import ANALYTIC_DEFAULT
+
+
+def _point(subnet, latency, accuracy):
+    return ParetoPoint(subnet=subnet, latency_ms=latency, accuracy=accuracy)
+
+
+class TestParetoPoint:
+    def test_domination(self, resnet50_subnets):
+        sn = resnet50_subnets[0]
+        better = _point(sn, 1.0, 0.80)
+        worse = _point(sn, 2.0, 0.78)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_no_self_domination(self, resnet50_subnets):
+        p = _point(resnet50_subnets[0], 1.0, 0.8)
+        assert not p.dominates(p)
+
+
+class TestParetoFrontier:
+    def test_removes_dominated(self, resnet50_subnets):
+        sn = resnet50_subnets[0]
+        points = [_point(sn, 1.0, 0.76), _point(sn, 2.0, 0.75), _point(sn, 3.0, 0.80)]
+        frontier = pareto_frontier(points)
+        assert len(frontier) == 2
+        assert all(p.accuracy != 0.75 for p in frontier)
+
+    def test_frontier_sorted_and_monotone(self, resnet50_subnets):
+        sn = resnet50_subnets[0]
+        points = [_point(sn, l, a) for l, a in [(5, 0.79), (1, 0.75), (3, 0.78), (2, 0.74)]]
+        frontier = pareto_frontier(points)
+        lats = [p.latency_ms for p in frontier]
+        accs = [p.accuracy for p in frontier]
+        assert lats == sorted(lats)
+        assert accs == sorted(accs)
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+    def test_paper_family_is_nondominated(self, resnet50, resnet50_subnets):
+        # The zoo's Pareto family should itself lie on the frontier of the
+        # latency/accuracy space induced by the analytic model.
+        model = SushiAccelModel(ANALYTIC_DEFAULT)
+        accuracy = AccuracyModel(resnet50)
+        points = build_pareto_points(
+            resnet50_subnets, model.subnet_latency_ms, accuracy.accuracy
+        )
+        frontier = pareto_frontier(points)
+        assert len(frontier) == len(resnet50_subnets)

@@ -1,0 +1,99 @@
+"""Unit tests for the weight store and shared-weight accounting."""
+
+import pytest
+
+from repro.supernet.subnet import max_subnet, min_subnet
+from repro.supernet.weights import SharedWeightIndex, WeightStore, total_distinct_bytes
+
+
+class TestWeightStore:
+    def test_total_bytes_matches_supernet(self, resnet50):
+        store = WeightStore(resnet50)
+        assert store.total_bytes == resnet50.max_weight_bytes
+
+    def test_extents_are_disjoint_and_ordered(self, resnet50):
+        store = WeightStore(resnet50)
+        extents = [store.extent(name) for name in resnet50.layer_names]
+        for prev, nxt in zip(extents, extents[1:]):
+            assert prev.end <= nxt.offset
+
+    def test_subnet_bytes_matches_subnet(self, resnet50):
+        store = WeightStore(resnet50)
+        subnet = min_subnet(resnet50)
+        assert store.subnet_bytes(subnet) == subnet.weight_bytes
+
+    def test_slice_extent_is_prefix(self, resnet50):
+        store = WeightStore(resnet50)
+        subnet = min_subnet(resnet50)
+        for sl in subnet.ordered_slices:
+            ext = store.slice_extent(sl)
+            base = store.extent(sl.layer.name)
+            assert ext.offset == base.offset
+            assert ext.nbytes <= base.nbytes
+
+    def test_unknown_layer_raises(self, resnet50):
+        store = WeightStore(resnet50)
+        with pytest.raises(KeyError):
+            store.extent("nope")
+
+    def test_read_slice_requires_materialization(self, mobilenetv3):
+        store = WeightStore(mobilenetv3)
+        subnet = min_subnet(mobilenetv3)
+        with pytest.raises(RuntimeError):
+            store.read_slice(subnet.ordered_slices[0])
+
+    def test_read_slice_materialized(self, mobilenetv3):
+        store = WeightStore(mobilenetv3, materialize=True, seed=1)
+        subnet = min_subnet(mobilenetv3)
+        sl = subnet.ordered_slices[0]
+        data = store.read_slice(sl)
+        assert data.nbytes == store.slice_extent(sl).nbytes
+
+    def test_materialized_data_deterministic(self, mobilenetv3):
+        a = WeightStore(mobilenetv3, materialize=True, seed=7)
+        b = WeightStore(mobilenetv3, materialize=True, seed=7)
+        subnet = min_subnet(mobilenetv3)
+        sl = subnet.ordered_slices[1]
+        assert (a.read_slice(sl) == b.read_slice(sl)).all()
+
+
+class TestSharedWeightIndex:
+    def test_shared_bytes_close_to_min_subnet(self, resnet50_subnets):
+        # OFA weight prefixes mean the family intersection is essentially the
+        # smallest SubNet (paper: shared 7.55 MB vs min SubNet 7.58 MB).
+        idx = SharedWeightIndex(resnet50_subnets)
+        smallest = min(sn.weight_bytes for sn in resnet50_subnets)
+        assert idx.shared_bytes() == pytest.approx(smallest, rel=0.05)
+
+    def test_pairwise_matrix_shape_and_symmetry(self, resnet50_subnets):
+        idx = SharedWeightIndex(resnet50_subnets)
+        mat = idx.pairwise_shared_bytes()
+        n = len(resnet50_subnets)
+        assert mat.shape == (n, n)
+        assert (mat == mat.T).all()
+
+    def test_diagonal_is_subnet_size(self, resnet50_subnets):
+        idx = SharedWeightIndex(resnet50_subnets)
+        mat = idx.pairwise_shared_bytes()
+        for i, sn in enumerate(resnet50_subnets):
+            assert mat[i, i] == sn.weight_bytes
+
+    def test_sharing_fraction_near_one(self, mobilenetv3_subnets):
+        idx = SharedWeightIndex(mobilenetv3_subnets)
+        assert 0.8 <= idx.sharing_fraction() <= 1.0
+
+    def test_summary_keys(self, resnet50_subnets):
+        summary = SharedWeightIndex(resnet50_subnets).summary()
+        assert {"num_subnets", "min_subnet_mb", "max_subnet_mb", "shared_mb"} <= set(summary)
+
+    def test_mixed_supernets_rejected(self, resnet50_subnets, mobilenetv3_subnets):
+        with pytest.raises(ValueError):
+            SharedWeightIndex([resnet50_subnets[0], mobilenetv3_subnets[0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SharedWeightIndex([])
+
+    def test_weight_sharing_saves_memory(self, resnet50, resnet50_subnets):
+        # Storing the family without sharing costs far more than the SuperNet.
+        assert total_distinct_bytes(resnet50_subnets) > resnet50.max_weight_bytes

@@ -1,0 +1,54 @@
+"""Unit tests for the model zoo."""
+
+import pytest
+
+from repro.supernet.zoo import (
+    SUPPORTED_SUPERNETS,
+    load_supernet,
+    paper_pareto_configs,
+    paper_pareto_subnets,
+)
+
+
+class TestLoadSupernet:
+    def test_supported_names(self):
+        for name in SUPPORTED_SUPERNETS:
+            assert load_supernet(name).name == name
+
+    def test_aliases(self):
+        assert load_supernet("resnet50").name == "ofa_resnet50"
+        assert load_supernet("mobv3").name == "ofa_mobilenetv3"
+        assert load_supernet("MobileNetV3").name == "ofa_mobilenetv3"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown SuperNet"):
+            load_supernet("vgg16")
+
+    def test_custom_resolution(self):
+        sn = load_supernet("ofa_resnet50", input_hw=192)
+        assert sn.input_hw == 192
+
+
+class TestParetoFamilies:
+    def test_family_sizes_match_paper(self, resnet50_subnets, mobilenetv3_subnets):
+        assert len(resnet50_subnets) == 6   # A..F
+        assert len(mobilenetv3_subnets) == 7  # A..G
+
+    def test_labels_are_letters(self, resnet50_subnets):
+        assert [sn.name for sn in resnet50_subnets] == list("ABCDEF")
+
+    def test_sizes_strictly_increasing(self, resnet50_subnets, mobilenetv3_subnets):
+        for family in (resnet50_subnets, mobilenetv3_subnets):
+            sizes = [sn.weight_bytes for sn in family]
+            assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_configs_valid_for_supernet(self, resnet50):
+        for cfg in paper_pareto_configs("ofa_resnet50"):
+            resnet50.validate_config(cfg.depths, cfg.expand_ratio, cfg.width_mult)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError):
+            paper_pareto_configs("vgg16")
+
+    def test_pareto_subnets_belong_to_supernet(self, mobilenetv3, mobilenetv3_subnets):
+        assert all(sn.supernet is mobilenetv3 for sn in mobilenetv3_subnets)
