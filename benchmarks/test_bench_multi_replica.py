@@ -1,0 +1,51 @@
+"""Benchmark (extension): multi-replica engine sweep — replicas x arrival rate.
+
+Acceptance demonstration for the discrete-event engine: at an arrival rate
+that overloads a single replica (rho > 1), a 2-replica join-shortest-queue
+configuration on the *same trace and seed* restores strictly higher SLO
+attainment.  The sweep itself is the registered ``load_sweep`` experiment
+driver, reusing one prebuilt stack across all cells.
+"""
+
+from repro.core.policies import Policy
+from repro.experiments import load_sweep
+from repro.serving.stack import SushiStack, SushiStackConfig
+
+REPLICA_COUNTS = (1, 2, 4)
+
+
+def test_bench_multi_replica_sweep(benchmark, show):
+    stack = SushiStack(
+        SushiStackConfig(
+            supernet_name="ofa_mobilenetv3", policy=Policy.STRICT_LATENCY, seed=0
+        )
+    )
+    # A light rate and one that overloads a single replica even if every
+    # query were served at the table's minimum latency (rho_1 >= 1.5).
+    light_rate, overload_rate = load_sweep.overload_rates(stack, (0.375, 1.5))
+
+    def sweep():
+        return load_sweep.run(
+            stack=stack,
+            num_queries=150,
+            arrival_rates_per_ms=(light_rate, overload_rate),
+            replica_counts=REPLICA_COUNTS,
+            seed=0,
+        )
+
+    result = benchmark(sweep)
+    show(load_sweep.report(result))
+
+    heavy_1 = result.cell(1, overload_rate)
+    heavy_2 = result.cell(2, overload_rate)
+    # One replica is genuinely overloaded at this rate; two are not.
+    assert heavy_1.offered_load > 1.0
+    assert heavy_2.offered_load < heavy_1.offered_load
+    # Acceptance: 2-replica JSQ strictly beats 1 replica on the same trace/seed.
+    assert heavy_2.slo_attainment > heavy_1.slo_attainment
+    # More replicas never hurt at fixed load.
+    assert result.cell(4, overload_rate).slo_attainment >= heavy_2.slo_attainment
+    # Every cell's accounting stays within physical bounds.
+    for c in result.cells:
+        assert 0.0 <= c.drop_rate <= 1.0
+        assert 0.0 <= c.slo_attainment <= 1.0

@@ -78,13 +78,24 @@ def nearest_index(
     ``metric`` is ``"euclidean"`` (the paper's choice) or ``"cosine"``.
     Ties resolve to the lowest index, which keeps the scheduler deterministic.
     """
-    if not candidates:
+    if len(candidates) == 0:
         raise ValueError("candidates must be non-empty")
+    target = np.asarray(target, dtype=np.float64)
+    matrix = np.asarray(candidates, dtype=np.float64)
+    if matrix.shape[1:] != target.shape:
+        raise ValueError(
+            f"encoding shapes differ: {target.shape} vs {matrix.shape[1:]}"
+        )
     if metric == "euclidean":
-        dist_fn = euclidean_distance
+        distances = np.linalg.norm(matrix - target[None, :], axis=1)
     elif metric == "cosine":
-        dist_fn = cosine_distance
+        norms = np.linalg.norm(matrix, axis=1)
+        target_norm = np.linalg.norm(target)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sims = matrix @ target / (norms * target_norm)
+        distances = 1.0 - np.where(
+            (norms == 0.0) | (target_norm == 0.0), 0.0, sims
+        )
     else:
         raise ValueError(f"unknown metric {metric!r}; use 'euclidean' or 'cosine'")
-    distances = np.array([dist_fn(target, c) for c in candidates])
     return int(np.argmin(distances))

@@ -111,6 +111,15 @@ class LatencyTable:
         self.timer.lookups += 1
         return value
 
+    def latency_batch(self, subnet_idxs, subgraph_idx: int) -> np.ndarray:
+        """Vectorized ``L[i][j]`` lookup for many SubNets under one cache state."""
+        idxs = np.asarray(subnet_idxs, dtype=np.intp)
+        start = time.perf_counter()
+        values = self.latencies_ms[idxs, subgraph_idx]
+        self.timer.total_seconds += time.perf_counter() - start
+        self.timer.lookups += int(idxs.size)
+        return values
+
     def column(self, subgraph_idx: int) -> np.ndarray:
         """Latencies of every SubNet under cached SubGraph ``j``."""
         return self.latencies_ms[:, subgraph_idx]
@@ -154,6 +163,43 @@ class LatencyTable:
         self.timer.total_seconds += time.perf_counter() - start
         self.timer.lookups += 1
         return best
+
+    # ------------------------------------------------------ batched queries
+    def best_under_accuracy_batch(
+        self, min_accuracies, subgraph_idx: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`best_under_accuracy`: one feasibility mask per query.
+
+        Returns an integer array aligned with ``min_accuracies`` whose entries
+        are the selected SubNet index, or ``-1`` where no SubNet satisfies the
+        accuracy constraint (the caller applies the fallback).  Tie-breaking
+        matches the scalar path exactly (first minimum wins).
+        """
+        bounds = np.asarray(min_accuracies, dtype=np.float64)
+        start = time.perf_counter()
+        mask = self.accuracies[None, :] >= bounds[:, None]
+        col = self.latencies_ms[:, subgraph_idx]
+        masked = np.where(mask, col[None, :], np.inf)
+        best = np.argmin(masked, axis=1)
+        result = np.where(mask.any(axis=1), best, -1).astype(np.intp)
+        self.timer.total_seconds += time.perf_counter() - start
+        self.timer.lookups += int(bounds.size)
+        return result
+
+    def best_under_latency_batch(
+        self, max_latencies_ms, subgraph_idx: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`best_under_latency`; ``-1`` where infeasible."""
+        bounds = np.asarray(max_latencies_ms, dtype=np.float64)
+        start = time.perf_counter()
+        col = self.latencies_ms[:, subgraph_idx]
+        mask = col[None, :] <= bounds[:, None]
+        masked = np.where(mask, self.accuracies[None, :], -np.inf)
+        best = np.argmax(masked, axis=1)
+        result = np.where(mask.any(axis=1), best, -1).astype(np.intp)
+        self.timer.total_seconds += time.perf_counter() - start
+        self.timer.lookups += int(bounds.size)
+        return result
 
     # ------------------------------------------------------------- reports
     def summary(self) -> dict[str, float]:

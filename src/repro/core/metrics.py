@@ -28,6 +28,8 @@ class QueryRecord:
     cache_hit_ratio: float = 0.0
     offchip_energy_mj: float = 0.0
     cache_load_ms: float = 0.0
+    replica_index: int = 0
+    """Which replica served the query (0 in single-server setups)."""
 
     @property
     def meets_latency(self) -> bool:

@@ -46,6 +46,21 @@ class RunningAverageNet:
             )
         self._history.append(encoding.copy())
 
+    def update_many(self, encodings: np.ndarray) -> None:
+        """Record a window of served encodings at once (rows = queries).
+
+        Equivalent to calling :meth:`update` per row — the deque's window
+        keeps only the last ``window`` rows — but validates and copies once,
+        which matters on batched scheduling hot paths.
+        """
+        block = np.asarray(encodings, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self.dimension:
+            raise ValueError(
+                f"encodings shape {block.shape} does not match "
+                f"(n, {self.dimension})"
+            )
+        self._history.extend(block.copy())
+
     def reset(self) -> None:
         self._history.clear()
 

@@ -6,6 +6,10 @@ line) and served accuracy against the accuracy constraint (STRICT_ACCURACY
 policy: all points above y=x).  We reproduce both scatter series for both
 SuperNet families and report the fraction of queries that satisfy their hard
 constraint.
+
+Serving flows through the discrete-event engine's closed loop (one query at
+a time, rho → 0), i.e. each query is scheduled at dispatch time with its full
+latency budget — the zero-queueing limit of the open-loop engine.
 """
 
 from __future__ import annotations

@@ -4,6 +4,10 @@ Serves the same random query stream through No-SUSHI (no PB, no scheduler),
 SUSHI w/o scheduler (state-unaware caching) and full SUSHI, and reports the
 served latency/accuracy points plus the headline improvements (the paper:
 up to 25 % latency reduction and up to 0.98 % served-accuracy increase).
+
+All three systems serve per-query through the discrete-event engine's closed
+loop (the rho → 0 configuration), so these records are directly comparable
+with the open-loop load sweeps that share the same dispatch path.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ from repro.experiments import (
     fig16_end_to_end,
     fig17_18_temporal,
     headline,
+    load_sweep,
     tab01_bandwidth,
     tab02_resources,
     tab03_buffer_config,
@@ -52,6 +53,11 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("fig15", "SushiSched functional evaluation", fig15_scheduler_functional),
         Experiment("fig16", "End-to-end SUSHI vs baselines", fig16_end_to_end),
         Experiment("fig17_18", "Temporal analysis of caching window Q", fig17_18_temporal),
+        Experiment(
+            "load_sweep",
+            "Open-loop SLO attainment vs load and replica count",
+            load_sweep,
+        ),
         Experiment("tab01", "Buffer bandwidth requirements", tab01_bandwidth),
         Experiment("tab02", "FPGA resource comparison", tab02_resources),
         Experiment("tab03", "Buffer storage allocation", tab03_buffer_config),

@@ -13,6 +13,13 @@ from repro.serving.workload import WorkloadGenerator, WorkloadSpec
 from repro.serving.stack import SushiStack, SushiStackConfig
 from repro.serving.baselines import NoSushiServer, StateUnawareCachingServer
 from repro.serving.runner import ExperimentRunner, StreamResult, compare_systems
+from repro.serving.engine import (
+    AcceleratorReplica,
+    ServingEngine,
+    SimulationResult,
+    build_stack_engine,
+)
+from repro.serving.simulator import OpenLoopSimulator
 
 __all__ = [
     "Query",
@@ -26,4 +33,9 @@ __all__ = [
     "ExperimentRunner",
     "StreamResult",
     "compare_systems",
+    "AcceleratorReplica",
+    "ServingEngine",
+    "SimulationResult",
+    "build_stack_engine",
+    "OpenLoopSimulator",
 ]

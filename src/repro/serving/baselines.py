@@ -20,7 +20,7 @@ from repro.accelerator.persistent_buffer import CachedSubGraph, PersistentBuffer
 from repro.core.candidates import truncate_to_capacity
 from repro.core.metrics import QueryRecord
 from repro.core.policies import Policy
-from repro.serving.query import QueryTrace
+from repro.serving.query import Query, QueryTrace
 from repro.supernet.accuracy import AccuracyModel
 from repro.supernet.subnet import SubNet
 from repro.supernet.supernet import SuperNet
@@ -66,25 +66,29 @@ class _StaticPolicyServer:
 class NoSushiServer(_StaticPolicyServer):
     """No PB, no SGS-aware scheduler: every query refetches all weights."""
 
+    def serve_query(
+        self, query: Query, *, effective_latency_constraint_ms: float | None = None
+    ) -> QueryRecord:
+        """Serve one query at dispatch time (stateless across queries)."""
+        idx = self._select(
+            query.accuracy_constraint,
+            query.latency_budget_ms(effective_latency_constraint_ms),
+        )
+        subnet = self.subnets[idx]
+        breakdown = self.accel.subnet_breakdown(subnet, cached=None)
+        return QueryRecord(
+            query_index=query.index,
+            accuracy_constraint=query.accuracy_constraint,
+            latency_constraint_ms=query.latency_constraint_ms,
+            subnet_name=subnet.name,
+            served_accuracy=self.accuracy_model.accuracy(subnet),
+            served_latency_ms=breakdown.latency_ms,
+            cache_hit_ratio=0.0,
+            offchip_energy_mj=breakdown.offchip_energy_mj,
+        )
+
     def serve(self, trace: QueryTrace) -> list[QueryRecord]:
-        records: list[QueryRecord] = []
-        for query in trace:
-            idx = self._select(query.accuracy_constraint, query.latency_constraint_ms)
-            subnet = self.subnets[idx]
-            breakdown = self.accel.subnet_breakdown(subnet, cached=None)
-            records.append(
-                QueryRecord(
-                    query_index=query.index,
-                    accuracy_constraint=query.accuracy_constraint,
-                    latency_constraint_ms=query.latency_constraint_ms,
-                    subnet_name=subnet.name,
-                    served_accuracy=self.accuracy_model.accuracy(subnet),
-                    served_latency_ms=breakdown.latency_ms,
-                    cache_hit_ratio=0.0,
-                    offchip_energy_mj=breakdown.offchip_energy_mj,
-                )
-            )
-        return records
+        return [self.serve_query(query) for query in trace]
 
 
 class StateUnawareCachingServer(_StaticPolicyServer):
@@ -111,39 +115,48 @@ class StateUnawareCachingServer(_StaticPolicyServer):
             raise ValueError("cache_update_period must be positive")
         self.cache_update_period = cache_update_period
         self.pb: PersistentBuffer = accel.make_persistent_buffer()
+        self._queries_seen = 0
+
+    def begin_stream(self) -> None:
+        """Restart the caching-period counter (the PB stays warm)."""
+        self._queries_seen = 0
+
+    def serve_query(
+        self, query: Query, *, effective_latency_constraint_ms: float | None = None
+    ) -> QueryRecord:
+        """Serve one query at dispatch time; caches every ``Q`` queries."""
+        idx = self._select(
+            query.accuracy_constraint,
+            query.latency_budget_ms(effective_latency_constraint_ms),
+        )
+        subnet = self.subnets[idx]
+        breakdown = self.accel.subnet_breakdown(subnet, self.pb.cached)
+        hit_ratio = self.pb.vector_hit_ratio(subnet)
+        self.pb.record_serve(subnet)
+        self._queries_seen += 1
+
+        cache_load_ms = 0.0
+        if self._queries_seen % self.cache_update_period == 0:
+            subgraph = truncate_to_capacity(
+                CachedSubGraph.from_subnet(subnet),
+                self.pb.capacity_bytes,
+                supernet=self.supernet,
+            )
+            fetched = self.pb.load(subgraph)
+            cache_load_ms = self.accel.cache_load_latency_ms(fetched)
+
+        return QueryRecord(
+            query_index=query.index,
+            accuracy_constraint=query.accuracy_constraint,
+            latency_constraint_ms=query.latency_constraint_ms,
+            subnet_name=subnet.name,
+            served_accuracy=self.accuracy_model.accuracy(subnet),
+            served_latency_ms=breakdown.latency_ms,
+            cache_hit_ratio=hit_ratio,
+            offchip_energy_mj=breakdown.offchip_energy_mj,
+            cache_load_ms=cache_load_ms,
+        )
 
     def serve(self, trace: QueryTrace) -> list[QueryRecord]:
-        records: list[QueryRecord] = []
-        last_served: SubNet | None = None
-        for i, query in enumerate(trace):
-            idx = self._select(query.accuracy_constraint, query.latency_constraint_ms)
-            subnet = self.subnets[idx]
-            breakdown = self.accel.subnet_breakdown(subnet, self.pb.cached)
-            hit_ratio = self.pb.vector_hit_ratio(subnet)
-            self.pb.record_serve(subnet)
-            last_served = subnet
-
-            cache_load_ms = 0.0
-            if (i + 1) % self.cache_update_period == 0 and last_served is not None:
-                subgraph = truncate_to_capacity(
-                    CachedSubGraph.from_subnet(last_served),
-                    self.pb.capacity_bytes,
-                    supernet=self.supernet,
-                )
-                fetched = self.pb.load(subgraph)
-                cache_load_ms = self.accel.cache_load_latency_ms(fetched)
-
-            records.append(
-                QueryRecord(
-                    query_index=query.index,
-                    accuracy_constraint=query.accuracy_constraint,
-                    latency_constraint_ms=query.latency_constraint_ms,
-                    subnet_name=subnet.name,
-                    served_accuracy=self.accuracy_model.accuracy(subnet),
-                    served_latency_ms=breakdown.latency_ms,
-                    cache_hit_ratio=hit_ratio,
-                    offchip_energy_mj=breakdown.offchip_energy_mj,
-                    cache_load_ms=cache_load_ms,
-                )
-            )
-        return records
+        self.begin_stream()
+        return [self.serve_query(query) for query in trace]

@@ -1,0 +1,85 @@
+"""Discrete-event multi-replica serving engine.
+
+One dispatch-time core unifies the closed-loop experiments (Fig. 15/16) and
+the open-loop load sweeps: an event heap advances simulated time, a routing
+policy spreads arrivals over N :class:`AcceleratorReplica` instances, each
+replica drains its queue under a pluggable discipline, admission control
+sheds queries whose deadline already expired, and every dispatch hands the
+backend the query's *remaining* latency budget so scheduling and caching
+decisions react to real queueing state.
+
+Layering::
+
+    router -> replica queue (discipline + admission) -> replica -> stack
+           -> scheduler -> accelerator (+ Persistent Buffer)
+"""
+
+from repro.serving.engine.admission import (
+    AdmissionPolicy,
+    AdmitAll,
+    DropExpired,
+    make_admission,
+)
+from repro.serving.engine.core import (
+    ServingEngine,
+    build_stack_engine,
+    poisson_arrivals,
+)
+from repro.serving.engine.disciplines import (
+    EDFQueue,
+    FIFOQueue,
+    QueueDiscipline,
+    QueuedQuery,
+    SlackPriorityQueue,
+    make_discipline,
+)
+from repro.serving.engine.events import Event, EventHeap, EventKind
+from repro.serving.engine.replica import (
+    AcceleratorReplica,
+    PrecomputedServer,
+    QueryServer,
+    ReplicaStats,
+)
+from repro.serving.engine.results import (
+    DroppedQuery,
+    SimulatedQueryOutcome,
+    SimulationResult,
+)
+from repro.serving.engine.routing import (
+    JoinShortestQueueRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    RoutingPolicy,
+    make_router,
+)
+
+__all__ = [
+    "AcceleratorReplica",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "DropExpired",
+    "DroppedQuery",
+    "EDFQueue",
+    "Event",
+    "EventHeap",
+    "EventKind",
+    "FIFOQueue",
+    "JoinShortestQueueRouter",
+    "LeastLoadedRouter",
+    "PrecomputedServer",
+    "QueryServer",
+    "QueueDiscipline",
+    "QueuedQuery",
+    "ReplicaStats",
+    "RoundRobinRouter",
+    "RoutingPolicy",
+    "ServingEngine",
+    "SimulatedQueryOutcome",
+    "SimulationResult",
+    "SlackPriorityQueue",
+    "build_stack_engine",
+    "make_admission",
+    "make_discipline",
+    "make_router",
+    "poisson_arrivals",
+]

@@ -1,0 +1,59 @@
+"""Discrete-event machinery: the event heap of the serving engine.
+
+The engine advances simulated time through a priority queue of timestamped
+events.  Two event kinds exist: a query *arrival* (it enters the system and
+is routed to a replica's queue) and a replica *completion* (a replica
+finishes its in-service query and pulls the next one).  At equal timestamps
+completions are processed before arrivals so a replica freed at time ``t``
+is visible to routing decisions made at ``t``; remaining ties resolve by
+insertion order, which keeps every run deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind(enum.IntEnum):
+    """Event kinds, ordered by processing priority at equal timestamps."""
+
+    COMPLETION = 0
+    ARRIVAL = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped event in the simulation."""
+
+    time_ms: float
+    kind: EventKind
+    payload: Any
+    """ARRIVAL: the arriving :class:`Query`.  COMPLETION: the replica index."""
+
+
+class EventHeap:
+    """Min-heap of events ordered by (time, kind, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(
+            self._heap, (event.time_ms, int(event.kind), self._counter, event)
+        )
+        self._counter += 1
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty event heap")
+        return heapq.heappop(self._heap)[3]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,158 @@
+"""Accelerator replicas: one serving endpoint each, with its own queue.
+
+An :class:`AcceleratorReplica` wraps any per-query server — a
+:class:`~repro.serving.stack.SushiStack`, a baseline server, or a
+:class:`PrecomputedServer` — behind the engine's dispatch interface.  Each
+replica owns a queue discipline, its busy/idle state, and running statistics
+(served, dropped, busy time, queueing delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.core.metrics import QueryRecord
+from repro.serving.engine.disciplines import QueueDiscipline, QueuedQuery, make_discipline
+from repro.serving.query import Query
+
+
+@runtime_checkable
+class QueryServer(Protocol):
+    """Anything that can serve one query at dispatch time."""
+
+    def serve_query(
+        self, query: Query, *, effective_latency_constraint_ms: float | None = None
+    ) -> QueryRecord: ...
+
+
+class PrecomputedServer:
+    """Replays per-query records computed ahead of time.
+
+    Used by the legacy open-loop mode, where the whole trace is served
+    closed-loop first and only the *queueing* is simulated: service times and
+    quality are fixed regardless of when each query is dispatched.
+    """
+
+    def __init__(self, records: Sequence[QueryRecord]) -> None:
+        self._by_index = {r.query_index: r for r in records}
+        if len(self._by_index) != len(records):
+            raise ValueError("precomputed records contain duplicate query indices")
+
+    def serve_query(
+        self, query: Query, *, effective_latency_constraint_ms: float | None = None
+    ) -> QueryRecord:
+        try:
+            return self._by_index[query.index]
+        except KeyError as exc:
+            raise KeyError(f"no precomputed record for query {query.index}") from exc
+
+
+@dataclass
+class ReplicaStats:
+    """Running statistics of one replica over a simulation run."""
+
+    replica_index: int
+    name: str
+    num_served: int = 0
+    num_dropped: int = 0
+    busy_ms: float = 0.0
+    queueing_ms_total: float = 0.0
+
+    @property
+    def mean_queueing_ms(self) -> float:
+        return self.queueing_ms_total / self.num_served if self.num_served else 0.0
+
+    def utilization(self, makespan_ms: float) -> float:
+        """Fraction of the run the replica spent serving."""
+        return self.busy_ms / makespan_ms if makespan_ms > 0 else 0.0
+
+
+@dataclass
+class _InService:
+    """The query a replica is currently serving."""
+
+    item: QueuedQuery
+    start_ms: float
+    record: QueryRecord
+
+
+class AcceleratorReplica:
+    """One accelerator serving endpoint with its own queue and state.
+
+    Parameters
+    ----------
+    server:
+        The per-query serving backend (``serve_query`` interface).
+    discipline:
+        Queue discipline name or instance (``fifo`` / ``edf`` /
+        ``priority_by_slack``).
+    index, name:
+        Identity of the replica in engine results.
+    service_estimator:
+        Maps a query to an estimated service time (ms), used for slack
+        ordering and least-loaded routing.  Defaults to the server's own
+        ``estimate_service_ms`` when it has one, else the query's latency
+        constraint (a conservative proxy).
+    """
+
+    def __init__(
+        self,
+        server: QueryServer,
+        *,
+        discipline: str | QueueDiscipline = "fifo",
+        index: int = 0,
+        name: str | None = None,
+        service_estimator: Callable[[Query], float] | None = None,
+    ) -> None:
+        self.server = server
+        self.queue = make_discipline(discipline)
+        self.index = index
+        self.name = name or f"replica{index}"
+        if service_estimator is None:
+            estimate = getattr(server, "estimate_service_ms", None)
+            service_estimator = estimate if callable(estimate) else (
+                lambda q: q.latency_constraint_ms
+            )
+        self.service_estimator = service_estimator
+        self.busy_until_ms = 0.0
+        self.in_service: _InService | None = None
+        self._queued_work_ms = 0.0
+        self.stats = ReplicaStats(replica_index=index, name=self.name)
+
+    # ------------------------------------------------------------ queue ops
+    def enqueue(self, item: QueuedQuery) -> None:
+        self.queue.push(item)
+        self._queued_work_ms += item.service_estimate_ms
+
+    def pop_next(self) -> QueuedQuery | None:
+        item = self.queue.pop()
+        if item is not None:
+            self._queued_work_ms -= item.service_estimate_ms
+        return item
+
+    # ------------------------------------------------------------ load view
+    @property
+    def is_busy(self) -> bool:
+        return self.in_service is not None
+
+    def queue_length(self) -> int:
+        """Waiting queries plus the in-service one (what JSQ compares)."""
+        return len(self.queue) + (1 if self.in_service is not None else 0)
+
+    def backlog_ms(self, now_ms: float) -> float:
+        """Estimated work in the system: remaining service plus queued work."""
+        remaining = max(0.0, self.busy_until_ms - now_ms) if self.is_busy else 0.0
+        return remaining + self._queued_work_ms
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Fresh state for a new run (also resets the wrapped server)."""
+        self.queue.clear()
+        self._queued_work_ms = 0.0
+        self.busy_until_ms = 0.0
+        self.in_service = None
+        self.stats = ReplicaStats(replica_index=self.index, name=self.name)
+        reset = getattr(self.server, "reset", None)
+        if callable(reset):
+            reset()

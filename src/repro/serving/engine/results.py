@@ -1,0 +1,142 @@
+"""Engine results: per-query outcomes, drops, and run-level aggregates.
+
+These generalize the original single-server simulator's result types to N
+replicas and admission control: an outcome knows which replica served it and
+carries the full :class:`~repro.core.metrics.QueryRecord`; a run additionally
+accounts for shed queries and exposes offered load, achieved throughput, and
+per-replica statistics — the numbers that make overload runs interpretable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import QueryRecord
+from repro.serving.engine.replica import ReplicaStats
+
+
+@dataclass(frozen=True)
+class SimulatedQueryOutcome:
+    """Timing of one served query in the simulation (all in ms)."""
+
+    query_index: int
+    arrival_ms: float
+    start_ms: float
+    service_ms: float
+    latency_constraint_ms: float
+    served_accuracy: float
+    replica_index: int = 0
+    record: QueryRecord | None = None
+    """The full serving record, when the backend produced one."""
+
+    @property
+    def completion_ms(self) -> float:
+        return self.start_ms + self.service_ms
+
+    @property
+    def queueing_ms(self) -> float:
+        return self.start_ms - self.arrival_ms
+
+    @property
+    def response_ms(self) -> float:
+        """Queueing delay plus service time — what the SLO is judged against."""
+        return self.completion_ms - self.arrival_ms
+
+    @property
+    def meets_slo(self) -> bool:
+        return self.response_ms <= self.latency_constraint_ms
+
+
+@dataclass(frozen=True)
+class DroppedQuery:
+    """A query shed by admission control (never served)."""
+
+    query_index: int
+    arrival_ms: float
+    dropped_at_ms: float
+    latency_constraint_ms: float
+    replica_index: int
+    reason: str = "deadline_expired"
+
+    @property
+    def waited_ms(self) -> float:
+        return self.dropped_at_ms - self.arrival_ms
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate outcome of one simulation run.
+
+    ``slo_attainment`` counts dropped queries as SLO violations, so the
+    denominator is everything that was *offered*, not just what was served;
+    the response-time statistics describe served queries only.
+    """
+
+    outcomes: tuple[SimulatedQueryOutcome, ...]
+    offered_load: float
+    """Mean arrival rate x mean service time / replicas (rho); > 1 is overload.
+
+    The mean service time is estimated from the queries actually *served*,
+    so under admission shedding or dispatch-time adaptation (which steer
+    overloaded runs toward faster SubNets) this understates the nominal
+    demand — compare cells together with ``drop_rate`` and
+    ``achieved_throughput_per_ms`` when reading overload sweeps.
+    """
+    dropped: tuple[DroppedQuery, ...] = ()
+    replica_stats: tuple[ReplicaStats, ...] = ()
+    achieved_throughput_per_ms: float = 0.0
+    """Served queries per ms of makespan (the goodput actually delivered)."""
+
+    @property
+    def num_served(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_dropped(self) -> int:
+        return len(self.dropped)
+
+    @property
+    def num_offered(self) -> int:
+        return self.num_served + self.num_dropped
+
+    @property
+    def drop_rate(self) -> float:
+        return self.num_dropped / self.num_offered if self.num_offered else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        if not self.num_offered:
+            return 0.0
+        met = sum(o.meets_slo for o in self.outcomes)
+        return met / self.num_offered
+
+    @property
+    def mean_response_ms(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return float(np.mean([o.response_ms for o in self.outcomes]))
+
+    @property
+    def p99_response_ms(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return float(np.percentile([o.response_ms for o in self.outcomes], 99))
+
+    @property
+    def mean_queueing_ms(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return float(np.mean([o.queueing_ms for o in self.outcomes]))
+
+    @property
+    def mean_accuracy(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return float(np.mean([o.served_accuracy for o in self.outcomes]))
+
+    @property
+    def records(self) -> tuple[QueryRecord, ...]:
+        """Serving records of the served queries, in query-index order."""
+        return tuple(o.record for o in self.outcomes if o.record is not None)

@@ -1,0 +1,113 @@
+"""Routing policies: which replica an arriving query joins.
+
+* ``round_robin`` — cycle through replicas regardless of state.
+* ``jsq`` (join shortest queue) — join the replica with the fewest queries
+  in its system (waiting plus in-service); an idle replica always wins, so
+  JSQ never queues a query while some replica sits idle.
+* ``least_loaded`` — join the replica with the smallest estimated backlog in
+  milliseconds (remaining service plus queued work), which beats JSQ when
+  service times are heterogeneous.
+
+All ties resolve to the lowest replica index, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.serving.engine.disciplines import QueuedQuery
+from repro.serving.engine.replica import AcceleratorReplica
+
+
+class RoutingPolicy(abc.ABC):
+    """Pick the replica an arriving query is routed to."""
+
+    name: str
+    needs_service_estimates: bool = False
+    """True when routing reads queued-work estimates (engine computes them
+    lazily — estimating costs a latency-table lookup per arrival)."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        replicas: Sequence[AcceleratorReplica],
+        item: QueuedQuery,
+        now_ms: float,
+    ) -> int:
+        """Index of the chosen replica."""
+
+    def reset(self) -> None:
+        """Clear any routing state between runs."""
+
+
+class RoundRobinRouter(RoutingPolicy):
+    """Cycle through replicas in order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(
+        self,
+        replicas: Sequence[AcceleratorReplica],
+        item: QueuedQuery,
+        now_ms: float,
+    ) -> int:
+        idx = self._next % len(replicas)
+        self._next += 1
+        return idx
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class JoinShortestQueueRouter(RoutingPolicy):
+    """Join the replica with the fewest queries in its system."""
+
+    name = "jsq"
+
+    def select(
+        self,
+        replicas: Sequence[AcceleratorReplica],
+        item: QueuedQuery,
+        now_ms: float,
+    ) -> int:
+        return min(range(len(replicas)), key=lambda i: (replicas[i].queue_length(), i))
+
+
+class LeastLoadedRouter(RoutingPolicy):
+    """Join the replica with the smallest estimated backlog (ms of work)."""
+
+    name = "least_loaded"
+    needs_service_estimates = True
+
+    def select(
+        self,
+        replicas: Sequence[AcceleratorReplica],
+        item: QueuedQuery,
+        now_ms: float,
+    ) -> int:
+        return min(
+            range(len(replicas)), key=lambda i: (replicas[i].backlog_ms(now_ms), i)
+        )
+
+
+_ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    JoinShortestQueueRouter.name: JoinShortestQueueRouter,
+    LeastLoadedRouter.name: LeastLoadedRouter,
+}
+
+
+def make_router(spec: str | RoutingPolicy) -> RoutingPolicy:
+    """Build a routing policy from a name, or pass an instance through."""
+    if isinstance(spec, RoutingPolicy):
+        return spec
+    try:
+        return _ROUTERS[spec]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown routing policy {spec!r}; available: {sorted(_ROUTERS)}"
+        ) from exc

@@ -47,6 +47,15 @@ class Query:
         if self.arrival_ms < 0:
             raise ValueError(f"query {self.index}: arrival time must be >= 0")
 
+    def latency_budget_ms(self, override: float | None = None) -> float:
+        """The latency budget a scheduler should plan against.
+
+        ``override`` is the *effective* (remaining) budget once queueing
+        delay is known — dispatch-time servers pass it through; ``None``
+        means the nominal constraint applies.
+        """
+        return self.latency_constraint_ms if override is None else override
+
 
 @dataclass(frozen=True)
 class QueryTrace:

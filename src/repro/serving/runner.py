@@ -24,6 +24,12 @@ from repro.core.metrics import (
 )
 from repro.core.policies import Policy
 from repro.serving.baselines import NoSushiServer, StateUnawareCachingServer
+from repro.serving.engine import (
+    AcceleratorReplica,
+    QueryServer,
+    ServingEngine,
+    build_stack_engine,
+)
 from repro.serving.query import QueryTrace
 from repro.serving.stack import SushiStack, SushiStackConfig
 from repro.serving.workload import WorkloadGenerator, WorkloadSpec, feasible_ranges_from_table
@@ -133,17 +139,56 @@ class ExperimentRunner:
         return WorkloadGenerator(spec, seed=self.seed if seed is None else seed).generate()
 
     # ------------------------------------------------------------- running
+    @staticmethod
+    def _closed_loop(server: QueryServer, trace: QueryTrace) -> list:
+        """Serve ``trace`` closed-loop through the discrete-event engine.
+
+        The closed loop is the rho → 0 configuration of the engine: one
+        replica, FIFO, admit-all, with query ``i+1`` injected as ``i``
+        completes — so every query sees its full latency budget and the
+        records match serving the trace sequentially, query for query.
+        """
+        engine = ServingEngine(
+            [AcceleratorReplica(server, discipline="fifo")],
+            router="round_robin",
+            admission="admit_all",
+        )
+        # State (scheduler history, PB warmth) is managed by the caller, not
+        # reset here, to preserve each system's cross-run cache semantics.
+        result = engine.run_closed_loop(trace, reset=False)
+        return list(result.records)
+
     def run(self, trace: QueryTrace) -> dict[str, StreamResult]:
         """Serve ``trace`` on all three systems (fresh state per run)."""
         self.sushi.reset()
+        self.state_unaware.begin_stream()
         results = {
-            "no_sushi": StreamResult.from_records("no_sushi", self.no_sushi.serve(trace)),
-            "sushi_wo_sched": StreamResult.from_records(
-                "sushi_wo_sched", self.state_unaware.serve(trace)
+            "no_sushi": StreamResult.from_records(
+                "no_sushi", self._closed_loop(self.no_sushi, trace)
             ),
-            "sushi": StreamResult.from_records("sushi", self.sushi.serve(trace)),
+            "sushi_wo_sched": StreamResult.from_records(
+                "sushi_wo_sched", self._closed_loop(self.state_unaware, trace)
+            ),
+            "sushi": StreamResult.from_records("sushi", self._closed_loop(self.sushi, trace)),
         }
         return results
+
+    def open_loop_engine(
+        self,
+        *,
+        num_replicas: int = 1,
+        discipline: str = "fifo",
+        router: str = "round_robin",
+        admission: str = "admit_all",
+    ) -> ServingEngine:
+        """A dispatch-time engine over clones of this runner's SUSHI stack."""
+        return build_stack_engine(
+            self.sushi,
+            num_replicas=num_replicas,
+            discipline=discipline,
+            router=router,
+            admission=admission,
+        )
 
     def compare(self, trace: QueryTrace) -> tuple[dict[str, StreamResult], ComparisonSummary]:
         """Run all systems and compute the headline comparison summary."""

@@ -4,120 +4,96 @@ The paper motivates SUSHI with latency-SLO attainment under *variable query
 traffic* (Section 1): during transient overloads a high-accuracy model drops
 queries, while a low-accuracy model wastes quality headroom when load is low.
 The closed-loop experiments of Fig. 15/16 serve one query at a time; this
-module adds the open-loop view: queries arrive on a Poisson process, wait in a
-FIFO queue for the single accelerator, and attain their latency SLO only if
-queueing delay plus serving latency stays within the constraint.
+module adds the open-loop view on top of the discrete-event engine
+(:mod:`repro.serving.engine`): queries arrive on a Poisson process, wait in a
+replica queue, and attain their latency SLO only if queueing delay plus
+serving latency stays within the constraint.
 
-This is an extension beyond the paper's plotted results, but it exercises the
-same stack end to end and quantifies the intro's motivating claim: a
-latency/accuracy-navigating scheduler attains more SLOs across load levels
-than any single static model.
+Two modes exist:
+
+* ``OpenLoopSimulator(serve_fn)`` — *precomputed* mode: the whole trace is
+  served closed-loop first and only the queueing is simulated (service times
+  are fixed regardless of dispatch time).  This keeps the original
+  single-server semantics and works for any ``trace -> records`` callable.
+* ``OpenLoopSimulator.from_stack(stack, num_replicas=...)`` — *dispatch-time*
+  mode: every query is scheduled when a replica actually picks it up, so the
+  scheduler sees the arrival order and the remaining latency slack, across
+  one or many replicas with pluggable disciplines, routing and admission.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Sequence
 
-import numpy as np
-
 from repro.core.metrics import QueryRecord
-from repro.serving.query import Query, QueryTrace
+from repro.serving.engine import (
+    AcceleratorReplica,
+    PrecomputedServer,
+    ServingEngine,
+    SimulatedQueryOutcome,
+    SimulationResult,
+    build_stack_engine,
+    poisson_arrivals,
+)
+from repro.serving.engine.results import DroppedQuery
+from repro.serving.query import QueryTrace
 from repro.serving.stack import SushiStack
 
-
-@dataclass(frozen=True)
-class SimulatedQueryOutcome:
-    """Timing of one query in the open-loop simulation (all in ms)."""
-
-    query_index: int
-    arrival_ms: float
-    start_ms: float
-    service_ms: float
-    latency_constraint_ms: float
-    served_accuracy: float
-
-    @property
-    def completion_ms(self) -> float:
-        return self.start_ms + self.service_ms
-
-    @property
-    def queueing_ms(self) -> float:
-        return self.start_ms - self.arrival_ms
-
-    @property
-    def response_ms(self) -> float:
-        """Queueing delay plus service time — what the SLO is judged against."""
-        return self.completion_ms - self.arrival_ms
-
-    @property
-    def meets_slo(self) -> bool:
-        return self.response_ms <= self.latency_constraint_ms
-
-
-@dataclass(frozen=True)
-class SimulationResult:
-    """Aggregate outcome of one open-loop run."""
-
-    outcomes: tuple[SimulatedQueryOutcome, ...]
-    offered_load: float
-    """Mean arrival rate x mean service time (rho); > 1 means overload."""
-
-    @property
-    def slo_attainment(self) -> float:
-        return float(np.mean([o.meets_slo for o in self.outcomes]))
-
-    @property
-    def mean_response_ms(self) -> float:
-        return float(np.mean([o.response_ms for o in self.outcomes]))
-
-    @property
-    def p99_response_ms(self) -> float:
-        return float(np.percentile([o.response_ms for o in self.outcomes], 99))
-
-    @property
-    def mean_queueing_ms(self) -> float:
-        return float(np.mean([o.queueing_ms for o in self.outcomes]))
-
-    @property
-    def mean_accuracy(self) -> float:
-        return float(np.mean([o.served_accuracy for o in self.outcomes]))
-
-
-def poisson_arrivals(
-    num_queries: int, rate_per_ms: float, *, rng: np.random.Generator
-) -> np.ndarray:
-    """Cumulative arrival timestamps (ms) of a Poisson process."""
-    if num_queries <= 0:
-        raise ValueError("num_queries must be positive")
-    if rate_per_ms <= 0:
-        raise ValueError("rate_per_ms must be positive")
-    gaps = rng.exponential(scale=1.0 / rate_per_ms, size=num_queries)
-    return np.cumsum(gaps)
+__all__ = [
+    "DroppedQuery",
+    "OpenLoopSimulator",
+    "SimulatedQueryOutcome",
+    "SimulationResult",
+    "poisson_arrivals",
+]
 
 
 class OpenLoopSimulator:
-    """Single-server FIFO simulation of a serving system.
+    """Open-loop simulation of a serving system over the event engine.
 
     Parameters
     ----------
     serve_fn:
         Maps a :class:`QueryTrace` to per-query records whose
         ``served_latency_ms`` / ``served_accuracy`` are used as the service
-        time and quality of each query.  Both the SUSHI stack and the
-        baselines satisfy this interface.
+        time and quality of each query (precomputed mode).  Both the SUSHI
+        stack and the baselines satisfy this interface.  Pass ``engine``
+        instead for dispatch-time simulation.
+    engine:
+        A pre-built :class:`ServingEngine` (dispatch-time mode).
     """
 
-    def __init__(self, serve_fn: Callable[[QueryTrace], Sequence[QueryRecord]]) -> None:
+    def __init__(
+        self,
+        serve_fn: Callable[[QueryTrace], Sequence[QueryRecord]] | None = None,
+        *,
+        engine: ServingEngine | None = None,
+    ) -> None:
+        if (serve_fn is None) == (engine is None):
+            raise ValueError("pass exactly one of serve_fn or engine")
         self.serve_fn = serve_fn
+        self.engine = engine
 
     @classmethod
-    def from_stack(cls, stack: SushiStack) -> "OpenLoopSimulator":
-        def _serve(trace: QueryTrace) -> Sequence[QueryRecord]:
-            stack.reset()
-            return stack.serve(trace)
-
-        return cls(_serve)
+    def from_stack(
+        cls,
+        stack: SushiStack,
+        *,
+        num_replicas: int = 1,
+        discipline: str = "fifo",
+        router: str = "round_robin",
+        admission: str = "admit_all",
+    ) -> "OpenLoopSimulator":
+        """Dispatch-time simulator over clones of ``stack`` (one per replica)."""
+        engine = build_stack_engine(
+            stack,
+            num_replicas=num_replicas,
+            discipline=discipline,
+            router=router,
+            admission=admission,
+            dispatch_time_scheduling=True,
+        )
+        return cls(engine=engine)
 
     def run(
         self,
@@ -127,33 +103,24 @@ class OpenLoopSimulator:
         seed: int = 0,
     ) -> SimulationResult:
         """Simulate ``trace`` arriving at ``arrival_rate_per_ms`` (queries/ms)."""
-        rng = np.random.default_rng(seed)
-        arrivals = poisson_arrivals(len(trace), arrival_rate_per_ms, rng=rng)
+        if self.engine is not None:
+            return self.engine.run_open_loop(
+                trace, arrival_rate_per_ms=arrival_rate_per_ms, seed=seed
+            )
         records = list(self.serve_fn(trace))
         if len(records) != len(trace):
             raise ValueError(
                 f"serve_fn returned {len(records)} records for {len(trace)} queries"
             )
-
-        outcomes: list[SimulatedQueryOutcome] = []
-        server_free_at = 0.0
-        for query, arrival, record in zip(trace, arrivals, records):
-            start = max(arrival, server_free_at)
-            service = record.served_latency_ms
-            server_free_at = start + service
-            outcomes.append(
-                SimulatedQueryOutcome(
-                    query_index=query.index,
-                    arrival_ms=float(arrival),
-                    start_ms=float(start),
-                    service_ms=float(service),
-                    latency_constraint_ms=query.latency_constraint_ms,
-                    served_accuracy=record.served_accuracy,
-                )
-            )
-        mean_service = float(np.mean([r.served_latency_ms for r in records]))
-        offered_load = arrival_rate_per_ms * mean_service
-        return SimulationResult(outcomes=tuple(outcomes), offered_load=offered_load)
+        engine = ServingEngine(
+            [AcceleratorReplica(PrecomputedServer(records))],
+            router="round_robin",
+            admission="admit_all",
+            dispatch_time_scheduling=False,
+        )
+        return engine.run_open_loop(
+            trace, arrival_rate_per_ms=arrival_rate_per_ms, seed=seed
+        )
 
     def load_sweep(
         self,

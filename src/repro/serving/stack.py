@@ -5,11 +5,19 @@ enter with (accuracy, latency) constraints, SushiSched consults SushiAbs (the
 latency table) to pick the SubNet and — every ``Q`` queries — the next cached
 SubGraph; SushiAccel (the analytic accelerator model plus its Persistent
 Buffer) then serves the query and enacts the caching decision.
+
+The stack serves *one query at a time* through :meth:`SushiStack.serve_query`
+— the interface the discrete-event engine dispatches against, optionally with
+the query's remaining latency budget once queueing delay is known.
+:meth:`SushiStack.serve` is the closed-loop convenience over a whole trace;
+it batches SubNet selection one caching window at a time (a single numpy
+feasibility mask per window) while producing records identical to the
+per-query path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
@@ -20,9 +28,9 @@ from repro.accelerator.platforms import ANALYTIC_DEFAULT, PlatformConfig
 from repro.core.candidates import CandidateSet, build_candidate_set
 from repro.core.latency_table import LatencyTable
 from repro.core.metrics import QueryRecord
-from repro.core.policies import Policy
-from repro.core.scheduler import SushiSched
-from repro.serving.query import QueryTrace
+from repro.core.policies import Policy, select_subnet
+from repro.core.scheduler import SchedulerDecision, SushiSched
+from repro.serving.query import Query, QueryTrace
 from repro.supernet.accuracy import AccuracyModel
 from repro.supernet.subnet import SubNet
 from repro.supernet.supernet import SuperNet
@@ -69,6 +77,7 @@ class SushiStack:
         accel: SushiAccelModel | None = None,
         accuracy_model: AccuracyModel | None = None,
         candidates: CandidateSet | None = None,
+        table: LatencyTable | None = None,
     ) -> None:
         self.config = config or SushiStackConfig()
         self.supernet = supernet or load_supernet(self.config.supernet_name)
@@ -82,7 +91,7 @@ class SushiStack:
             capacity_bytes=pb_capacity,
             max_size=self.config.candidate_set_size,
         )
-        self.table = LatencyTable.build(
+        self.table = table or LatencyTable.build(
             self.subnets,
             self.candidates,
             latency_fn=self.accel.subnet_latency_ms,
@@ -107,40 +116,77 @@ class SushiStack:
         fetched = self.pb.load(subgraph)
         return self.accel.cache_load_latency_ms(fetched)
 
+    def _enact(self, query: Query, decision: SchedulerDecision) -> QueryRecord:
+        """Serve one scheduled query on the accelerator and enact caching."""
+        subnet = self.subnets[decision.subnet_idx]
+        breakdown = self.accel.subnet_breakdown(subnet, self.pb.cached)
+        hit_ratio = self.pb.vector_hit_ratio(subnet)
+        self.pb.record_serve(subnet)
+
+        cache_load_ms = 0.0
+        if decision.cache_updated:
+            # The caching decision is enacted after the query completes;
+            # its cost is amortized off the query critical path but
+            # recorded for accounting.
+            cache_load_ms = self._enact_cache(decision.next_cache_state_idx)
+
+        return QueryRecord(
+            query_index=query.index,
+            accuracy_constraint=query.accuracy_constraint,
+            latency_constraint_ms=query.latency_constraint_ms,
+            subnet_name=subnet.name,
+            served_accuracy=self.accuracy_model.accuracy(subnet),
+            served_latency_ms=breakdown.latency_ms,
+            cache_hit_ratio=hit_ratio,
+            offchip_energy_mj=breakdown.offchip_energy_mj,
+            cache_load_ms=cache_load_ms,
+        )
+
+    def serve_query(
+        self, query: Query, *, effective_latency_constraint_ms: float | None = None
+    ) -> QueryRecord:
+        """Serve one query at dispatch time; returns its serving record.
+
+        ``effective_latency_constraint_ms`` is the query's *remaining*
+        latency budget once queueing delay is known (passed by the serving
+        engine); the scheduler reacts to it, while the record still reports
+        the query's nominal constraint for SLO accounting.
+        """
+        decision = self.scheduler.schedule(
+            accuracy_constraint=query.accuracy_constraint,
+            latency_constraint_ms=query.latency_budget_ms(
+                effective_latency_constraint_ms
+            ),
+        )
+        return self._enact(query, decision)
+
     def serve(self, trace: QueryTrace) -> list[QueryRecord]:
-        """Serve a query stream end to end; returns per-query records."""
-        records: list[QueryRecord] = []
-        for query in trace:
-            decision = self.scheduler.schedule(
-                accuracy_constraint=query.accuracy_constraint,
-                latency_constraint_ms=query.latency_constraint_ms,
-            )
-            subnet = self.subnets[decision.subnet_idx]
-            breakdown = self.accel.subnet_breakdown(subnet, self.pb.cached)
-            hit_ratio = self.pb.vector_hit_ratio(subnet)
-            self.pb.record_serve(subnet)
+        """Serve a query stream end to end; returns per-query records.
 
-            cache_load_ms = 0.0
-            if decision.cache_updated:
-                # The caching decision is enacted after the query completes;
-                # its cost is amortized off the query critical path but
-                # recorded for accounting.
-                cache_load_ms = self._enact_cache(decision.next_cache_state_idx)
+        SubNet selection is batched one caching window at a time (vectorized
+        feasibility masks); the records are identical to calling
+        :meth:`serve_query` per query.
+        """
+        decisions = self.scheduler.schedule_batch(
+            trace.accuracy_constraints, trace.latency_constraints_ms
+        )
+        return [self._enact(query, d) for query, d in zip(trace, decisions)]
 
-            records.append(
-                QueryRecord(
-                    query_index=query.index,
-                    accuracy_constraint=query.accuracy_constraint,
-                    latency_constraint_ms=query.latency_constraint_ms,
-                    subnet_name=subnet.name,
-                    served_accuracy=self.accuracy_model.accuracy(subnet),
-                    served_latency_ms=breakdown.latency_ms,
-                    cache_hit_ratio=hit_ratio,
-                    offchip_energy_mj=breakdown.offchip_energy_mj,
-                    cache_load_ms=cache_load_ms,
-                )
-            )
-        return records
+    def estimate_service_ms(self, query: Query) -> float:
+        """Predicted service time of ``query`` at the current cache state.
+
+        Side-effect free: consults the latency table without advancing the
+        scheduler, so routers and queue disciplines can use it.
+        """
+        cache_idx = self.scheduler.cache_state_idx
+        subnet_idx = select_subnet(
+            self.table,
+            self.config.policy,
+            accuracy_constraint=query.accuracy_constraint,
+            latency_constraint_ms=query.latency_constraint_ms,
+            cache_state_idx=cache_idx,
+        )
+        return self.table.latency(subnet_idx, cache_idx)
 
     # ------------------------------------------------------------- state
     @property
@@ -153,3 +199,22 @@ class SushiStack:
         self.scheduler.reset()
         self.pb = self.accel.make_persistent_buffer()
         self._enact_cache(self.scheduler.cache_state_idx)
+
+    def clone(self, *, seed: int | None = None) -> "SushiStack":
+        """An independent stack sharing this one's immutable substrate.
+
+        The SuperNet, SubNet family, accelerator model, candidate set and
+        latency table are shared (they are read-only); the clone gets its own
+        scheduler and Persistent Buffer, so it evolves cache state
+        independently — one clone per engine replica.
+        """
+        config = self.config if seed is None else replace(self.config, seed=seed)
+        return SushiStack(
+            config,
+            supernet=self.supernet,
+            subnets=self.subnets,
+            accel=self.accel,
+            accuracy_model=self.accuracy_model,
+            candidates=self.candidates,
+            table=self.table,
+        )

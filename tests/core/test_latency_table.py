@@ -96,3 +96,32 @@ class TestLookups:
         summary = table.summary()
         assert summary["num_subnets"] == table.num_subnets
         assert summary["min_latency_ms"] <= summary["max_latency_ms"]
+
+
+class TestBatchLookups:
+    def test_latency_batch_matches_scalar(self, table):
+        idxs = list(range(table.num_subnets)) * 2
+        batch = table.latency_batch(idxs, 0)
+        assert batch.tolist() == [table.latency(i, 0) for i in idxs]
+
+    def test_best_under_accuracy_batch_matches_scalar(self, table):
+        rng = np.random.default_rng(0)
+        bounds = rng.uniform(0.5, 0.99, size=100)
+        batch = table.best_under_accuracy_batch(bounds, 0)
+        for bound, got in zip(bounds, batch):
+            expected = table.best_under_accuracy(float(bound), 0)
+            assert got == (-1 if expected is None else expected)
+
+    def test_best_under_latency_batch_matches_scalar(self, table):
+        rng = np.random.default_rng(1)
+        hi = float(table.latencies_ms.max())
+        bounds = rng.uniform(0.0, 1.5 * hi, size=100)
+        batch = table.best_under_latency_batch(bounds, 1)
+        for bound, got in zip(bounds, batch):
+            expected = table.best_under_latency(float(bound), 1)
+            assert got == (-1 if expected is None else expected)
+
+    def test_batch_lookups_are_timed(self, table):
+        before = table.timer.lookups
+        table.latency_batch([0, 0, 0], 0)
+        assert table.timer.lookups == before + 3

@@ -107,3 +107,63 @@ class TestScheduling:
         for _ in range(10):
             sched.schedule(accuracy_constraint=0.79, latency_constraint_ms=5.0)
         assert 0 <= sched.cache_update_count() <= 5
+
+
+class TestResetSemantics:
+    def test_reset_without_argument_restores_initial_cache(self, setup):
+        sched = make_scheduler(setup, initial_cache_idx=1)
+        # Drive enough queries that a caching decision moves the state.
+        for _ in range(20):
+            sched.schedule(accuracy_constraint=0.80, latency_constraint_ms=5.0)
+        sched.cache_state_idx = (sched.cache_state_idx + 1) % sched.table.num_subgraphs
+        sched.reset()
+        assert sched.cache_state_idx == 1
+        assert sched.queries_seen == 0
+
+    def test_random_initial_cache_restored_after_reset(self, setup):
+        supernet, table = setup
+        sched = SushiSched(table, supernet, rng=np.random.default_rng(7))
+        initial = sched.cache_state_idx
+        for _ in range(12):
+            sched.schedule(accuracy_constraint=0.78, latency_constraint_ms=5.0)
+        sched.reset()
+        assert sched.cache_state_idx == initial
+
+
+class TestBatchScheduling:
+    def test_schedule_batch_matches_sequential(self, setup):
+        rng = np.random.default_rng(5)
+        n = 37  # deliberately not a multiple of Q
+        accs = rng.uniform(0.75, 0.82, size=n)
+        lats = rng.uniform(0.1, 5.0, size=n)
+        seq = make_scheduler(setup, cache_update_period=4)
+        bat = make_scheduler(setup, cache_update_period=4)
+        sequential = [
+            seq.schedule(accuracy_constraint=float(a), latency_constraint_ms=float(l))
+            for a, l in zip(accs, lats)
+        ]
+        batched = bat.schedule_batch(accs, lats)
+        assert batched == sequential
+        assert bat.queries_seen == seq.queries_seen == n
+        assert bat.cache_state_idx == seq.cache_state_idx
+        assert bat.decisions == seq.decisions
+
+    def test_schedule_batch_resumes_mid_period(self, setup):
+        sched = make_scheduler(setup, cache_update_period=4)
+        ref = make_scheduler(setup, cache_update_period=4)
+        accs = [0.78, 0.79, 0.80, 0.76, 0.77, 0.81]
+        lats = [5.0, 1.0, 2.0, 4.0, 0.5, 3.0]
+        # Two queries one at a time, then the rest in a batch: the batch must
+        # align its first chunk to the caching-period boundary.
+        for a, l in zip(accs[:2], lats[:2]):
+            sched.schedule(accuracy_constraint=a, latency_constraint_ms=l)
+        sched.schedule_batch(accs[2:], lats[2:])
+        for a, l in zip(accs, lats):
+            ref.schedule(accuracy_constraint=a, latency_constraint_ms=l)
+        assert sched.decisions == ref.decisions
+        assert sched.cache_state_idx == ref.cache_state_idx
+
+    def test_schedule_batch_validates_shapes(self, setup):
+        sched = make_scheduler(setup)
+        with pytest.raises(ValueError):
+            sched.schedule_batch([0.78, 0.79], [1.0])

@@ -15,6 +15,7 @@ from repro.experiments import (
     fig16_end_to_end,
     fig17_18_temporal,
     headline,
+    load_sweep,
     tab01_bandwidth,
     tab02_resources,
     tab03_buffer_config,
@@ -25,8 +26,8 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_sixteen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 16
+    def test_all_seventeen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 17
 
     def test_get_experiment(self):
         assert get_experiment("fig10").experiment_id == "fig10"
@@ -109,6 +110,26 @@ class TestFigureShapes:
         result = fig17_18_temporal.run("ofa_mobilenetv3", windows=(1, 4, 15), num_queries=60)
         assert result.best_window() in (1, 4, 15)
         assert all(w.metrics.mean_latency_ms > 0 for w in result.windows)
+
+    def test_load_sweep_replicas_help_under_overload(self):
+        result = load_sweep.run(
+            "ofa_mobilenetv3",
+            num_queries=80,
+            arrival_rates_per_ms=(0.2, 2.0),
+            replica_counts=(1, 2),
+            seed=0,
+        )
+        assert len(result.cells) == 4
+        # Offered load halves with twice the replicas on the same trace.
+        heavy_1 = result.cell(1, 2.0)
+        heavy_2 = result.cell(2, 2.0)
+        assert heavy_2.offered_load < heavy_1.offered_load
+        # More load can only hurt attainment for a fixed replica count.
+        for m in (1, 2):
+            curve = result.attainment_curve(m)
+            attain = [a for _, a in curve]
+            assert all(x >= y - 1e-9 for x, y in zip(attain, attain[1:]))
+        assert "Load sweep" in load_sweep.report(result)
 
     def test_headline_directions(self):
         result = headline.run(num_queries=60)

@@ -95,3 +95,67 @@ class TestOpenLoopSimulator:
         a = sim.run(trace, arrival_rate_per_ms=0.5, seed=9)
         b = sim.run(trace, arrival_rate_per_ms=0.5, seed=9)
         assert a.mean_response_ms == b.mean_response_ms
+
+
+class TestSimulationResultAccounting:
+    """Satellite: offered load, achieved throughput and drops are exposed."""
+
+    def test_throughput_and_drop_fields(self, trace):
+        sim = OpenLoopSimulator(constant_service_fn(2.0))
+        result = sim.run(trace, arrival_rate_per_ms=1.0, seed=0)
+        assert result.offered_load == pytest.approx(2.0)
+        assert result.num_dropped == 0
+        assert result.drop_rate == 0.0
+        assert result.num_served == len(trace)
+        makespan = max(o.completion_ms for o in result.outcomes)
+        assert result.achieved_throughput_per_ms == pytest.approx(
+            len(trace) / makespan
+        )
+        # Without drops, attainment is the served-query mean as before.
+        assert result.slo_attainment == pytest.approx(
+            np.mean([o.meets_slo for o in result.outcomes])
+        )
+
+    def test_per_replica_stats_exposed(self, trace):
+        sim = OpenLoopSimulator(constant_service_fn(2.0))
+        result = sim.run(trace, arrival_rate_per_ms=1.0, seed=0)
+        assert len(result.replica_stats) == 1
+        assert result.replica_stats[0].num_served == len(trace)
+
+    def test_constructor_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            OpenLoopSimulator()
+        with pytest.raises(ValueError):
+            OpenLoopSimulator(
+                constant_service_fn(1.0), engine=object()  # type: ignore[arg-type]
+            )
+
+
+class TestDispatchTimeMode:
+    @pytest.fixture(scope="class")
+    def stack(self):
+        from repro.core.policies import Policy
+        from repro.serving.stack import SushiStack, SushiStackConfig
+
+        return SushiStack(
+            SushiStackConfig(
+                supernet_name="ofa_mobilenetv3",
+                policy=Policy.STRICT_LATENCY,
+                seed=0,
+            )
+        )
+
+    def test_from_stack_runs_and_is_deterministic(self, stack):
+        spec_trace = QueryTrace.from_constraints([0.77] * 40, [1.0] * 40)
+        sim = OpenLoopSimulator.from_stack(stack, num_replicas=2, router="jsq")
+        a = sim.run(spec_trace, arrival_rate_per_ms=2.0, seed=1)
+        b = sim.run(spec_trace, arrival_rate_per_ms=2.0, seed=1)
+        assert [o.start_ms for o in a.outcomes] == [o.start_ms for o in b.outcomes]
+        assert a.num_served == 40
+
+    def test_drop_expired_sheds_under_overload(self, stack):
+        tight = QueryTrace.from_constraints([0.77] * 60, [0.4] * 60)
+        sim = OpenLoopSimulator.from_stack(stack, admission="drop_expired")
+        result = sim.run(tight, arrival_rate_per_ms=10.0, seed=0)
+        assert result.num_dropped > 0
+        assert result.num_served + result.num_dropped == 60
