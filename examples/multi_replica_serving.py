@@ -1,13 +1,20 @@
-"""Multi-replica serving: ride out an overload with the discrete-event engine.
+"""Multi-replica serving: ride out an overload with the declarative API.
 
-Demonstrates the serving engine's open-loop view end to end via the
-``load_sweep`` experiment driver:
+Demonstrates the spec-driven serving facade end to end:
 
-1. build one SUSHI stack (OFA-MobileNetV3, STRICT_LATENCY policy),
-2. sweep engines with 1, 2 and 4 replicas — join-shortest-queue routing,
-   earliest-deadline-first queues, deadline-expired shedding,
-3. push the same Poisson query stream through each at a rate that overloads
-   a single replica, and print how attainment, drops and tail latency react.
+1. describe the scenario declaratively — one :class:`ScenarioSpec` with a
+   SUSHI replica group (join-shortest-queue routing, earliest-deadline-first
+   queues, deadline-expired shedding) and a Poisson arrival process at a
+   rate that overloads a single replica,
+2. run the same scenario with 1, 2 and 4 replicas via ``run_scenario``
+   (one ``--override``-style tweak of the replica count per run, sharing a
+   single latency table through the stack cache),
+3. print how attainment, drops and tail latency react.
+
+The same scenario serialized to JSON (``spec.to_json()``) runs unchanged
+from the command line::
+
+    PYTHONPATH=src python -m repro serve --scenario scenario.json
 
 Run with::
 
@@ -17,8 +24,17 @@ Run with::
 from __future__ import annotations
 
 from repro.core.policies import Policy
-from repro.experiments import load_sweep
-from repro.serving import SushiStack, SushiStackConfig
+from repro.experiments.load_sweep import overload_rates
+from repro.serving import (
+    ArrivalSpec,
+    ReplicaGroupSpec,
+    ScenarioSpec,
+    SushiStack,
+    SushiStackConfig,
+    WorkloadSpec,
+    format_result_summary,
+    run_scenario,
+)
 
 
 def main() -> None:
@@ -28,15 +44,26 @@ def main() -> None:
         )
     )
     # Overload one replica even at the family's fastest service time.
-    (rate,) = load_sweep.overload_rates(stack, (1.5,))
-    result = load_sweep.run(
-        stack=stack,
-        num_queries=300,
-        arrival_rates_per_ms=(rate,),
-        replica_counts=(1, 2, 4),
+    (rate,) = overload_rates(stack, (1.5,))
+    spec = ScenarioSpec(
+        name="overload",
+        supernet_name="ofa_mobilenetv3",
+        policy=Policy.STRICT_LATENCY,
+        replica_groups=(ReplicaGroupSpec(count=1, discipline="edf"),),
+        router="jsq",
+        admission="drop_expired",
+        workload=WorkloadSpec(
+            num_queries=300, accuracy_range=None, latency_range_ms=None
+        ),
+        arrivals=ArrivalSpec(kind="poisson", rate_per_ms=rate, seed=0),
         seed=0,
     )
-    print(load_sweep.report(result))
+    stack_cache = {stack.config: stack}
+    for num_replicas in (1, 2, 4):
+        scaled = spec.override("replica_groups.0.count", num_replicas)
+        result = run_scenario(scaled, stack_cache=stack_cache)
+        print(format_result_summary(scaled, result))
+        print()
 
 
 if __name__ == "__main__":

@@ -1,11 +1,41 @@
-"""Setup shim.
+"""Packaging for the SUSHI reproduction.
 
 The environment this reproduction targets is fully offline and ships an older
 setuptools without the ``wheel`` package, so PEP 660 editable installs are not
-available.  Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the
-legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+available.  Keeping the metadata in a plain ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path and
+installs the ``repro`` console entry point (the same CLI as
+``python -m repro``).
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "_version.py")) as fh:
+        return re.search(r'__version__ = "([^"]+)"', fh.read()).group(1)
+
+
+setup(
+    name="repro-sushi",
+    version=_version(),
+    description=(
+        "Reproduction of 'Subgraph Stationary Hardware-Software Inference "
+        "Co-Design' (SUSHI, MLSys 2023) with a discrete-event serving engine "
+        "and a declarative scenario API"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+)

@@ -1,3 +1,3 @@
-"""Package version (kept in sync with pyproject.toml)."""
+"""Package version (read by setup.py)."""
 
 __version__ = "0.1.0"

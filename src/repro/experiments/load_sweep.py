@@ -17,13 +17,10 @@ from dataclasses import dataclass
 from repro.accelerator.platforms import ANALYTIC_DEFAULT, PlatformConfig
 from repro.analysis.reporting import format_table
 from repro.core.policies import Policy
-from repro.serving.engine import build_stack_engine
+from repro.serving.api import run_scenario
+from repro.serving.spec import ArrivalSpec, ReplicaGroupSpec, ScenarioSpec
 from repro.serving.stack import SushiStack, SushiStackConfig
-from repro.serving.workload import (
-    WorkloadGenerator,
-    WorkloadSpec,
-    feasible_ranges_from_table,
-)
+from repro.serving.workload import WorkloadSpec, feasible_ranges_from_table
 
 DEFAULT_ARRIVAL_RATES: tuple[float, ...] = (0.2, 0.5, 1.0, 2.0)
 DEFAULT_REPLICA_COUNTS: tuple[int, ...] = (1, 2)
@@ -93,9 +90,12 @@ def run(
 ) -> LoadSweepResult:
     """Sweep the open-loop engine over replica counts x arrival rates.
 
-    Pass a prebuilt ``stack`` to reuse its latency table (construction is the
-    expensive part); ``supernet_name``/``platform``/``policy``/
-    ``cache_update_period``/``seed`` then describe that stack's config.
+    Each cell is one declarative :class:`ScenarioSpec` run through the
+    serving facade (``repro.serving.api.run_scenario``) — the same path the
+    CLI and the JSON scenario files use.  Pass a prebuilt ``stack`` to reuse
+    its latency table (construction is the expensive part);
+    ``supernet_name``/``platform``/``policy``/``cache_update_period``/
+    ``seed`` then describe that stack's config.
     """
     if stack is None:
         stack = SushiStack(
@@ -109,28 +109,42 @@ def run(
         )
     else:
         supernet_name = stack.supernet.name
+        platform = stack.config.platform
         policy = stack.config.policy
+        cache_update_period = stack.config.cache_update_period
     acc_range, lat_range = feasible_ranges_from_table(stack.table)
-    spec = WorkloadSpec(
+    workload = WorkloadSpec(
         num_queries=num_queries,
         accuracy_range=acc_range,
         latency_range_ms=lat_range,
     )
-    trace = WorkloadGenerator(spec, seed=seed).generate()
+    # All cells clone from one template stack (config-keyed cache).
+    stack_cache = {stack.config: stack}
 
     cells: list[LoadCell] = []
     for num_replicas in replica_counts:
-        engine = build_stack_engine(
-            stack,
-            num_replicas=num_replicas,
-            discipline=discipline,
-            router=router,
-            admission=admission,
-        )
         for rate in arrival_rates_per_ms:
-            result = engine.run_open_loop(
-                trace, arrival_rate_per_ms=rate, seed=seed
+            scenario = ScenarioSpec(
+                name=f"load-sweep-{num_replicas}x{rate:g}",
+                supernet_name=supernet_name,
+                policy=policy,
+                cache_update_period=cache_update_period,
+                replica_groups=(
+                    ReplicaGroupSpec(
+                        count=num_replicas,
+                        platform=platform,
+                        candidate_set_size=stack.config.candidate_set_size,
+                        seed=stack.config.seed,
+                        discipline=discipline,
+                    ),
+                ),
+                router=router,
+                admission=admission,
+                workload=workload,
+                arrivals=ArrivalSpec(kind="poisson", rate_per_ms=rate, seed=seed),
+                seed=seed,
             )
+            result = run_scenario(scenario, stack_cache=stack_cache)
             cells.append(
                 LoadCell(
                     num_replicas=num_replicas,

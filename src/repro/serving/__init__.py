@@ -6,12 +6,22 @@ SushiAccel model (with its Persistent Buffer), producing per-query serving
 records.  Baselines reproduce the paper's comparison points: ``No-SUSHI``
 (no PB, no scheduler) and ``SUSHI w/o scheduler`` (PB with state-unaware
 caching).
+
+The declarative layer on top (:mod:`repro.serving.spec` +
+:mod:`repro.serving.api`) describes whole scenarios — heterogeneous replica
+pools, routing/admission, workloads and arrival processes — as
+JSON-serializable specs, and builds/runs them through one facade:
+``run_scenario(ScenarioSpec(...))``.
 """
 
 from repro.serving.query import Query, QueryTrace
 from repro.serving.workload import WorkloadGenerator, WorkloadSpec
 from repro.serving.stack import SushiStack, SushiStackConfig
-from repro.serving.baselines import NoSushiServer, StateUnawareCachingServer
+from repro.serving.baselines import (
+    FixedSubNetServer,
+    NoSushiServer,
+    StateUnawareCachingServer,
+)
 from repro.serving.runner import ExperimentRunner, StreamResult, compare_systems
 from repro.serving.engine import (
     AcceleratorReplica,
@@ -20,6 +30,13 @@ from repro.serving.engine import (
     build_stack_engine,
 )
 from repro.serving.simulator import OpenLoopSimulator
+from repro.serving.spec import ArrivalSpec, ReplicaGroupSpec, ScenarioSpec
+from repro.serving.api import (
+    build_engine,
+    build_trace,
+    format_result_summary,
+    run_scenario,
+)
 
 __all__ = [
     "Query",
@@ -28,6 +45,7 @@ __all__ = [
     "WorkloadSpec",
     "SushiStack",
     "SushiStackConfig",
+    "FixedSubNetServer",
     "NoSushiServer",
     "StateUnawareCachingServer",
     "ExperimentRunner",
@@ -38,4 +56,11 @@ __all__ = [
     "SimulationResult",
     "build_stack_engine",
     "OpenLoopSimulator",
+    "ArrivalSpec",
+    "ReplicaGroupSpec",
+    "ScenarioSpec",
+    "build_engine",
+    "build_trace",
+    "format_result_summary",
+    "run_scenario",
 ]

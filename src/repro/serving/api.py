@@ -1,0 +1,322 @@
+"""Build and run serving scenarios from declarative specs.
+
+The imperative half of the declarative API: :mod:`repro.serving.spec`
+describes a scenario as data; this module turns a :class:`ScenarioSpec` into
+live objects — SuperNet families, SUSHI stacks (one clone per replica, each
+with its own scheduler and Persistent Buffer), baseline servers, replicas
+and the discrete-event engine — and runs it:
+
+>>> from repro.serving import ArrivalSpec, ReplicaGroupSpec, ScenarioSpec
+>>> from repro.serving.api import run_scenario
+>>> spec = ScenarioSpec(
+...     supernet_name="ofa_mobilenetv3",
+...     replica_groups=(
+...         ReplicaGroupSpec(count=2, pb_kb=1728.0),
+...         ReplicaGroupSpec(count=2, pb_kb=432.0),   # heterogeneous pool
+...     ),
+...     router="jsq",
+...     admission="drop_expired",
+...     arrivals=ArrivalSpec(kind="poisson", rate_per_ms=0.5),
+... )
+>>> result = run_scenario(spec)                        # doctest: +SKIP
+
+Guarantees:
+
+* A homogeneous Poisson scenario is **record-identical** to the hand-wired
+  path (``build_stack_engine(stack, ...).run_open_loop(trace, ...)``): the
+  same stack seeds, clone seeds, workload and arrival draws are used.
+* Stacks passed in via ``stack_cache`` are never mutated — replicas always
+  serve through clones — so one expensive latency table can be shared
+  across many scenarios (sweeps, benchmarks, the CLI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.accelerator.analytic_model import SushiAccelModel
+from repro.accelerator.platforms import PlatformConfig
+from repro.serving.baselines import (
+    FixedSubNetServer,
+    NoSushiServer,
+    StateUnawareCachingServer,
+)
+from repro.serving.engine import (
+    AcceleratorReplica,
+    PrecomputedServer,
+    QueryServer,
+    ServingEngine,
+    SimulationResult,
+)
+from repro.serving.query import QueryTrace
+from repro.serving.spec import ReplicaGroupSpec, ScenarioSpec
+from repro.serving.stack import SushiStack, SushiStackConfig
+from repro.serving.workload import (
+    WorkloadGenerator,
+    feasible_ranges_from_table,
+)
+from repro.supernet.accuracy import AccuracyModel
+from repro.supernet.zoo import load_supernet, paper_pareto_subnets
+
+__all__ = [
+    "build_engine",
+    "build_trace",
+    "format_result_summary",
+    "run_scenario",
+]
+
+StackCache = dict[SushiStackConfig, SushiStack]
+
+
+@dataclass(frozen=True)
+class _Family:
+    """The immutable substrate shared by every backend of one SuperNet."""
+
+    supernet: object
+    subnets: tuple
+    accuracy_model: AccuracyModel
+
+
+_FAMILIES: dict[str, _Family] = {}
+
+
+def _family(supernet_name: str) -> _Family:
+    """SuperNet / SubNet family / accuracy model, built once per process."""
+    key = supernet_name.lower()
+    if key not in _FAMILIES:
+        supernet = load_supernet(supernet_name)
+        subnets = tuple(paper_pareto_subnets(supernet))
+        _FAMILIES[key] = _Family(
+            supernet=supernet,
+            subnets=subnets,
+            accuracy_model=AccuracyModel(supernet),
+        )
+    return _FAMILIES[key]
+
+
+def _stack_config(spec: ScenarioSpec, group: ReplicaGroupSpec) -> SushiStackConfig:
+    return SushiStackConfig(
+        supernet_name=spec.supernet_name,
+        platform=group.resolved_platform(),
+        policy=spec.group_policy(group),
+        cache_update_period=spec.group_cache_update_period(group),
+        candidate_set_size=group.candidate_set_size,
+        seed=spec.group_seed(group),
+    )
+
+
+def _base_stack(
+    spec: ScenarioSpec, group: ReplicaGroupSpec, stack_cache: StackCache
+) -> SushiStack:
+    """The group's template stack (cached by config; never served directly)."""
+    config = _stack_config(spec, group)
+    stack = stack_cache.get(config)
+    if stack is None:
+        family = _family(spec.supernet_name)
+        stack = SushiStack(
+            config,
+            supernet=family.supernet,
+            subnets=list(family.subnets),
+            accuracy_model=family.accuracy_model,
+        )
+        stack_cache[config] = stack
+    return stack
+
+
+def _group_ranges(
+    spec: ScenarioSpec, group: ReplicaGroupSpec, stack_cache: StackCache
+) -> tuple[tuple[float, float], tuple[float, float]]:
+    """Feasible (accuracy, latency) constraint ranges for one group."""
+    if group.kind in ("sushi", "precomputed"):
+        return feasible_ranges_from_table(_base_stack(spec, group, stack_cache).table)
+    family = _family(spec.supernet_name)
+    accel = SushiAccelModel(group.resolved_platform(), with_pb=False)
+    lats = [accel.subnet_latency_ms(sn) for sn in family.subnets]
+    accs = [family.accuracy_model.accuracy(sn) for sn in family.subnets]
+    return (min(accs), max(accs)), (min(lats), max(lats))
+
+
+def build_trace(
+    spec: ScenarioSpec, *, stack_cache: StackCache | None = None
+) -> QueryTrace:
+    """The scenario's query trace, with deferred constraint ranges resolved.
+
+    ``None`` ranges in the workload spec resolve to the feasible ranges of
+    the scenario's *first* replica group (its latency table for SUSHI-like
+    backends, static profiles otherwise), so generated constraints are
+    always meaningful for the family being served.
+    """
+    if stack_cache is None:
+        stack_cache = {}
+    workload = spec.workload
+    if spec.num_queries is not None:
+        workload = replace(workload, num_queries=spec.num_queries)
+    if not workload.has_resolved_ranges:
+        acc_range, lat_range = _group_ranges(spec, spec.replica_groups[0], stack_cache)
+        workload = replace(
+            workload,
+            accuracy_range=workload.accuracy_range or acc_range,
+            latency_range_ms=workload.latency_range_ms or lat_range,
+        )
+    return WorkloadGenerator(workload, seed=spec.seed).generate(name=spec.name)
+
+
+def _server_builder(
+    spec: ScenarioSpec,
+    group: ReplicaGroupSpec,
+    stack_cache: StackCache,
+    trace: QueryTrace | None,
+) -> Callable[[int], QueryServer]:
+    """A factory producing one group's backends, by engine-global position."""
+    family = _family(spec.supernet_name)
+    platform = group.resolved_platform()
+    policy = spec.group_policy(group)
+    period = spec.group_cache_update_period(group)
+
+    if group.kind == "sushi":
+        base = _base_stack(spec, group, stack_cache)
+        seed = base.config.seed
+        # The builder receives the engine-global replica position, so two
+        # groups sharing a stack config still get decorrelated clones (a
+        # single group reproduces build_stack_engine's seed + 0..N-1).
+        return lambda position: base.clone(seed=seed + position)
+
+    if group.kind == "precomputed":
+        if trace is None:
+            raise ValueError(
+                "precomputed replica groups need the query trace at build "
+                "time; pass trace= to build_engine (run_scenario does this)"
+            )
+        base = _base_stack(spec, group, stack_cache)
+        # Serve closed-loop on a private clone so cached stacks stay pristine.
+        records = base.clone(seed=base.config.seed).serve(trace)
+        return lambda position: PrecomputedServer(records)
+
+    if group.kind == "no_sushi":
+        accel = SushiAccelModel(platform, with_pb=False)
+        return lambda position: NoSushiServer(
+            family.supernet,
+            list(family.subnets),
+            accel,
+            family.accuracy_model,
+            policy=policy,
+        )
+
+    if group.kind == "state_unaware":
+        accel = SushiAccelModel(platform, with_pb=True)
+        return lambda position: StateUnawareCachingServer(
+            family.supernet,
+            list(family.subnets),
+            accel,
+            family.accuracy_model,
+            policy=policy,
+            cache_update_period=period,
+        )
+
+    if group.kind == "static_subnet":
+        accel = SushiAccelModel(platform, with_pb=False)
+        return lambda position: FixedSubNetServer(
+            family.supernet,
+            list(family.subnets),
+            accel,
+            family.accuracy_model,
+            subnet_name=group.subnet_name,
+        )
+
+    raise ValueError(f"unknown backend kind {group.kind!r}")  # pragma: no cover
+
+
+def build_engine(
+    spec: ScenarioSpec,
+    *,
+    trace: QueryTrace | None = None,
+    stack_cache: StackCache | None = None,
+) -> ServingEngine:
+    """Construct the serving engine a :class:`ScenarioSpec` describes.
+
+    Walks the replica groups in order, builds each group's backend per
+    replica (SUSHI groups clone one template stack with per-replica seeds,
+    exactly like ``build_stack_engine``), and lets the engine assign global
+    replica indices.  ``stack_cache`` (config → stack) lets callers reuse
+    expensive latency tables across scenarios; cached stacks are only ever
+    cloned, never served.
+    """
+    if stack_cache is None:
+        stack_cache = {}
+    replicas: list[AcceleratorReplica] = []
+    for group in spec.replica_groups:
+        make_server = _server_builder(spec, group, stack_cache, trace)
+        for j in range(group.count):
+            replicas.append(
+                AcceleratorReplica(
+                    make_server(len(replicas)),
+                    discipline=group.discipline,
+                    name=f"{group.name}-{j}" if group.name else None,
+                )
+            )
+    return ServingEngine(
+        replicas,
+        router=spec.router,
+        admission=spec.admission,
+        dispatch_time_scheduling=spec.dispatch_time_scheduling,
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec, *, stack_cache: StackCache | None = None
+) -> SimulationResult:
+    """Run a scenario end to end: trace + arrivals + engine → result.
+
+    The single entry point behind the CLI (``python -m repro serve``), the
+    ``load_sweep`` experiment and the examples.  For a homogeneous Poisson
+    scenario this is record-identical to the hand-wired
+    ``build_stack_engine`` / ``run_open_loop`` path.
+    """
+    if stack_cache is None:
+        stack_cache = {}
+    trace = build_trace(spec, stack_cache=stack_cache)
+    engine = build_engine(spec, trace=trace, stack_cache=stack_cache)
+    arrivals = spec.arrivals.generate(len(trace))
+    return engine.run(
+        trace,
+        arrivals,
+        arrival_rate_per_ms=spec.arrivals.nominal_rate_per_ms(),
+    )
+
+
+def format_result_summary(spec: ScenarioSpec, result: SimulationResult) -> str:
+    """Human-readable summary of one scenario run (used by the CLI)."""
+    from repro.analysis.reporting import format_table
+
+    rows: dict[str, dict[str, object]] = {
+        "scenario": {
+            "replicas": sum(g.count for g in spec.replica_groups),
+            "offered": result.num_offered,
+            "served": result.num_served,
+            "dropped": result.num_dropped,
+            "rho": result.offered_load,
+            "SLO attainment": result.slo_attainment,
+            "drop rate": result.drop_rate,
+            "mean response (ms)": result.mean_response_ms,
+            "p99 response (ms)": result.p99_response_ms,
+            "throughput (/ms)": result.achieved_throughput_per_ms,
+            "mean accuracy (%)": 100.0 * result.mean_accuracy,
+        }
+    }
+    makespan = max((o.completion_ms for o in result.outcomes), default=0.0)
+    for stats in result.replica_stats:
+        rows[stats.name] = {
+            "served": stats.num_served,
+            "dropped": stats.num_dropped,
+            "mean queueing (ms)": stats.mean_queueing_ms,
+            "utilization": stats.utilization(makespan),
+        }
+    return format_table(
+        rows,
+        title=(
+            f"Scenario {spec.name!r} — {spec.supernet_name}, "
+            f"{spec.router}/{spec.admission}, arrivals={spec.arrivals.kind}"
+        ),
+        precision=3,
+    )

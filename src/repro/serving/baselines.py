@@ -7,6 +7,9 @@
   Buffer exists and is kept warm, but caching is *state-unaware*: every ``Q``
   queries it simply caches (a truncation of) the most recently served SubNet,
   and SubNet selection ignores the cache state.
+* :class:`FixedSubNetServer` — the degenerate non-adaptive system the paper's
+  introduction argues against: one SubNet pinned for every query regardless
+  of its constraints (a conventional single-model deployment).
 """
 
 from __future__ import annotations
@@ -75,6 +78,62 @@ class NoSushiServer(_StaticPolicyServer):
             query.latency_budget_ms(effective_latency_constraint_ms),
         )
         subnet = self.subnets[idx]
+        breakdown = self.accel.subnet_breakdown(subnet, cached=None)
+        return QueryRecord(
+            query_index=query.index,
+            accuracy_constraint=query.accuracy_constraint,
+            latency_constraint_ms=query.latency_constraint_ms,
+            subnet_name=subnet.name,
+            served_accuracy=self.accuracy_model.accuracy(subnet),
+            served_latency_ms=breakdown.latency_ms,
+            cache_hit_ratio=0.0,
+            offchip_energy_mj=breakdown.offchip_energy_mj,
+        )
+
+    def serve(self, trace: QueryTrace) -> list[QueryRecord]:
+        return [self.serve_query(query) for query in trace]
+
+
+class FixedSubNetServer(_StaticPolicyServer):
+    """Serve one pinned SubNet for every query (no PB, no adaptation).
+
+    Models a conventional deployment of a single network: query constraints
+    are recorded but never influence what is served.  ``subnet_name=None``
+    pins the most accurate SubNet of the family.
+    """
+
+    def __init__(
+        self,
+        supernet: SuperNet,
+        subnets: Sequence[SubNet],
+        accel: SushiAccelModel,
+        accuracy_model: AccuracyModel | None = None,
+        *,
+        subnet_name: str | None = None,
+    ) -> None:
+        super().__init__(supernet, subnets, accel, accuracy_model)
+        if subnet_name is None:
+            self._fixed_idx = int(np.argmax(self.accuracies))
+        else:
+            names = [sn.name for sn in self.subnets]
+            try:
+                self._fixed_idx = names.index(subnet_name)
+            except ValueError as exc:
+                raise ValueError(
+                    f"unknown SubNet {subnet_name!r}; available: {names}"
+                ) from exc
+
+    @property
+    def fixed_subnet(self) -> SubNet:
+        return self.subnets[self._fixed_idx]
+
+    def estimate_service_ms(self, query: Query) -> float:
+        return float(self.static_latency_ms[self._fixed_idx])
+
+    def serve_query(
+        self, query: Query, *, effective_latency_constraint_ms: float | None = None
+    ) -> QueryRecord:
+        subnet = self.fixed_subnet
         breakdown = self.accel.subnet_breakdown(subnet, cached=None)
         return QueryRecord(
             query_index=query.index,

@@ -82,10 +82,17 @@ class ServingEngine:
             raise ValueError("the engine needs at least one replica")
         self.replicas = list(replicas)
         for i, replica in enumerate(self.replicas):
-            if replica.index != i:
+            if replica.index is None:
+                # The engine owns replica identity: unassigned replicas get
+                # their position, so callers never hand-number a pool.
+                replica.assign_index(i)
+            elif replica.index != i:
+                # An explicit index that disagrees with the position would
+                # misattribute per-replica stats and completion events.
                 raise ValueError(
-                    f"replica at position {i} has index {replica.index}; "
-                    "replica indices must match their position"
+                    f"replica at position {i} was explicitly given index "
+                    f"{replica.index}; leave index unset to let the engine "
+                    "assign it, or make explicit indices match positions"
                 )
         self.router = make_router(router)
         self.admission = make_admission(admission)
@@ -349,11 +356,7 @@ def build_stack_engine(
     if num_replicas <= 0:
         raise ValueError("num_replicas must be positive")
     replicas = [
-        AcceleratorReplica(
-            stack.clone(seed=stack.config.seed + i),
-            discipline=discipline,
-            index=i,
-        )
+        AcceleratorReplica(stack.clone(seed=stack.config.seed + i), discipline=discipline)
         for i in range(num_replicas)
     ]
     return ServingEngine(

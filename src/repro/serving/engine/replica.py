@@ -88,7 +88,11 @@ class AcceleratorReplica:
         Queue discipline name or instance (``fifo`` / ``edf`` /
         ``priority_by_slack``).
     index, name:
-        Identity of the replica in engine results.
+        Identity of the replica in engine results.  ``index=None`` (the
+        default) means *unassigned*: the :class:`ServingEngine` assigns each
+        replica its position at construction time.  Passing an explicit
+        index pins it — the engine then rejects a mismatch with its position
+        rather than silently misattributing per-replica stats.
     service_estimator:
         Maps a query to an estimated service time (ms), used for slack
         ordering and least-loaded routing.  Defaults to the server's own
@@ -101,14 +105,15 @@ class AcceleratorReplica:
         server: QueryServer,
         *,
         discipline: str | QueueDiscipline = "fifo",
-        index: int = 0,
+        index: int | None = None,
         name: str | None = None,
         service_estimator: Callable[[Query], float] | None = None,
     ) -> None:
         self.server = server
         self.queue = make_discipline(discipline)
         self.index = index
-        self.name = name or f"replica{index}"
+        self._explicit_name = name
+        self.name = name or f"replica{index if index is not None else '?'}"
         if service_estimator is None:
             estimate = getattr(server, "estimate_service_ms", None)
             service_estimator = estimate if callable(estimate) else (
@@ -118,7 +123,21 @@ class AcceleratorReplica:
         self.busy_until_ms = 0.0
         self.in_service: _InService | None = None
         self._queued_work_ms = 0.0
-        self.stats = ReplicaStats(replica_index=index, name=self.name)
+        self.stats = ReplicaStats(
+            replica_index=-1 if index is None else index, name=self.name
+        )
+
+    def assign_index(self, index: int) -> None:
+        """Pin this replica's engine position (called by the engine).
+
+        Updates the default name and the stats identity along with the
+        index; an explicitly passed name is preserved.
+        """
+        self.index = index
+        if self._explicit_name is None:
+            self.name = f"replica{index}"
+        self.stats.replica_index = index
+        self.stats.name = self.name
 
     # ------------------------------------------------------------ queue ops
     def enqueue(self, item: QueuedQuery) -> None:
@@ -152,7 +171,9 @@ class AcceleratorReplica:
         self._queued_work_ms = 0.0
         self.busy_until_ms = 0.0
         self.in_service = None
-        self.stats = ReplicaStats(replica_index=self.index, name=self.name)
+        self.stats = ReplicaStats(
+            replica_index=-1 if self.index is None else self.index, name=self.name
+        )
         reset = getattr(self.server, "reset", None)
         if callable(reset):
             reset()

@@ -1,0 +1,476 @@
+"""Declarative serving scenario specifications.
+
+Everything needed to run a serving scenario — which replicas exist, what
+hardware each runs on, how queries arrive and what constraints they carry —
+is captured in frozen, JSON-serializable dataclasses:
+
+* :class:`ReplicaGroupSpec` — a homogeneous group of replicas (count, backend
+  kind, platform / Persistent Buffer size, policy, queue discipline).  A
+  scenario may mix several groups, giving heterogeneous replica pools
+  (e.g. two large-PB plus two small-PB replicas).
+* :class:`ArrivalSpec` — the arrival process: ``poisson``, ``deterministic``
+  (evenly spaced) or ``time_varying`` (piecewise-constant-rate Poisson for
+  diurnal / flash-crowd traces).
+* :class:`ScenarioSpec` — the whole experiment: replica groups, router,
+  admission policy, workload (query constraints) and arrival process.
+
+Every spec round-trips through ``to_dict()`` / ``from_dict()`` with plain
+JSON types only, so scenarios can live in version-controlled ``.json`` files
+(see ``examples/scenarios/``) and be run from the command line with
+``python -m repro serve --scenario <file>``.  The imperative counterpart —
+actually building stacks, replicas and the engine from a spec — lives in
+:mod:`repro.serving.api`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.accelerator.platforms import PlatformConfig, platform_by_name
+from repro.core.policies import Policy
+from repro.serving.workload import PATTERNS, WorkloadSpec
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "BACKEND_KINDS",
+    "ArrivalSpec",
+    "ReplicaGroupSpec",
+    "ScenarioSpec",
+]
+
+#: Serving backends a replica group can instantiate (see ``api.build_engine``).
+BACKEND_KINDS: tuple[str, ...] = (
+    "sushi",  # full SUSHI stack: SushiSched + SushiAbs + SushiAccel (+ PB)
+    "no_sushi",  # paper baseline: no PB, selection on static latencies
+    "state_unaware",  # paper ablation: PB present, caching ignores state
+    "static_subnet",  # serve one fixed SubNet for every query
+    "precomputed",  # replay records precomputed closed-loop (legacy mode)
+)
+
+#: Supported arrival processes.
+ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "deterministic", "time_varying")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _as_tuple(value: Any) -> Any:
+    """Recursively convert lists (as produced by JSON) to tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_as_tuple(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How queries arrive in an open-loop scenario.
+
+    Attributes
+    ----------
+    kind:
+        ``poisson`` (memoryless arrivals at ``rate_per_ms``),
+        ``deterministic`` (evenly spaced at ``rate_per_ms``), or
+        ``time_varying`` (piecewise-constant-rate Poisson over ``segments``).
+    rate_per_ms:
+        Mean arrival rate in queries/ms (``poisson`` / ``deterministic``).
+    segments:
+        ``(duration_ms, rate_per_ms)`` pairs for ``time_varying``.  The
+        segment sequence cycles until the stream is exhausted, so a diurnal
+        day or a flash-crowd spike repeats naturally over long traces.
+    seed:
+        Seed of the arrival process (independent of the workload seed).
+    """
+
+    kind: str = "poisson"
+    rate_per_ms: float | None = None
+    segments: tuple[tuple[float, float], ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "segments", _as_tuple(self.segments))
+        _require(
+            self.kind in ARRIVAL_KINDS,
+            f"unknown arrival kind {self.kind!r}; expected one of {ARRIVAL_KINDS}",
+        )
+        if self.kind in ("poisson", "deterministic"):
+            _require(
+                self.rate_per_ms is not None and self.rate_per_ms > 0,
+                f"{self.kind} arrivals need a positive rate_per_ms "
+                f"(got {self.rate_per_ms})",
+            )
+            _require(
+                not self.segments,
+                f"{self.kind} arrivals take no segments (got {self.segments})",
+            )
+        else:  # time_varying
+            _require(
+                self.rate_per_ms is None,
+                "time_varying arrivals are described by segments, not rate_per_ms",
+            )
+            _require(bool(self.segments), "time_varying arrivals need segments")
+            for seg in self.segments:
+                _require(
+                    isinstance(seg, tuple) and len(seg) == 2,
+                    f"each segment must be (duration_ms, rate_per_ms), got {seg!r}",
+                )
+                duration, rate = seg
+                _require(
+                    duration > 0 and rate > 0,
+                    f"segment durations and rates must be positive, got {seg}",
+                )
+
+    # ------------------------------------------------------------- generate
+    def generate(self, num_queries: int) -> np.ndarray:
+        """Cumulative arrival timestamps (ms) for ``num_queries`` queries."""
+        if num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+        if self.kind == "poisson":
+            # Exactly the engine's run_open_loop arrivals, so a Poisson
+            # ScenarioSpec is record-identical to the hand-wired path.
+            rng = np.random.default_rng(self.seed)
+            gaps = rng.exponential(scale=1.0 / self.rate_per_ms, size=num_queries)
+            return np.cumsum(gaps)
+        if self.kind == "deterministic":
+            return np.arange(1, num_queries + 1, dtype=np.float64) / self.rate_per_ms
+        return self._time_varying(num_queries)
+
+    def _time_varying(self, num_queries: int) -> np.ndarray:
+        """Exact piecewise-constant-rate Poisson process via unit hazards.
+
+        Each inter-arrival draws a unit-rate exponential and burns it down
+        through the (cycling) segments: a segment of rate ``r`` and length
+        ``d`` absorbs ``r * d`` units of hazard.  This is the inverse
+        cumulative-hazard construction, exact for any piecewise rate.
+        """
+        rng = np.random.default_rng(self.seed)
+        hazards = rng.exponential(scale=1.0, size=num_queries)
+        durations = np.array([d for d, _ in self.segments])
+        rates = np.array([r for _, r in self.segments])
+        arrivals = np.empty(num_queries, dtype=np.float64)
+        t = 0.0
+        seg = 0  # current segment in the cycle
+        into = 0.0  # time already spent inside the current segment
+        for i, hazard in enumerate(hazards):
+            while True:
+                left_ms = durations[seg] - into
+                seg_hazard = rates[seg] * left_ms
+                if hazard <= seg_hazard:
+                    dt = hazard / rates[seg]
+                    t += dt
+                    into += dt
+                    break
+                hazard -= seg_hazard
+                t += left_ms
+                seg = (seg + 1) % len(self.segments)
+                into = 0.0
+            arrivals[i] = t
+        return arrivals
+
+    def nominal_rate_per_ms(self) -> float:
+        """The long-run mean arrival rate implied by the spec."""
+        if self.kind in ("poisson", "deterministic"):
+            return float(self.rate_per_ms)
+        total_time = sum(d for d, _ in self.segments)
+        total_arrivals = sum(d * r for d, r in self.segments)
+        return total_arrivals / total_time
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "rate_per_ms": self.rate_per_ms,
+            "segments": [list(seg) for seg in self.segments],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
+        data = dict(data)
+        data["segments"] = _as_tuple(data.get("segments", ()))
+        return cls(**data)
+
+
+def _platform_to_json(platform: str | PlatformConfig) -> str | dict[str, Any]:
+    if isinstance(platform, str):
+        return platform
+    return dataclasses.asdict(platform)
+
+
+def _platform_from_json(data: str | Mapping[str, Any]) -> str | PlatformConfig:
+    if isinstance(data, str):
+        return data
+    return PlatformConfig(**dict(data))
+
+
+@dataclass(frozen=True)
+class ReplicaGroupSpec:
+    """A homogeneous group of serving replicas inside a scenario.
+
+    Attributes
+    ----------
+    count:
+        Number of replicas in the group.
+    kind:
+        Backend kind, one of :data:`BACKEND_KINDS`.
+    platform:
+        Platform name (see :func:`~repro.accelerator.platforms.platform_by_name`)
+        or a full inline :class:`PlatformConfig`.
+    pb_kb:
+        Persistent Buffer size override in KB (None keeps the platform's).
+        The knob that makes pools heterogeneous: groups sharing a platform
+        but differing in PB size model big/small accelerator tiers.
+    policy, cache_update_period, candidate_set_size, seed:
+        Per-group overrides of the scenario-level values (None inherits).
+    discipline:
+        Queue discipline of every replica in the group
+        (``fifo`` / ``edf`` / ``priority_by_slack``).
+    subnet_name:
+        For ``static_subnet`` backends: which SubNet to pin (None pins the
+        most accurate one).
+    name:
+        Optional group label; replica ``i`` of group ``g`` is named
+        ``"{name}-{i}"`` (default names follow the engine's global index).
+    """
+
+    count: int = 1
+    kind: str = "sushi"
+    platform: str | PlatformConfig = "analytic-default"
+    pb_kb: float | None = None
+    policy: Policy | None = None
+    cache_update_period: int | None = None
+    candidate_set_size: int | None = None
+    seed: int | None = None
+    discipline: str = "fifo"
+    subnet_name: str | None = None
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.count > 0, f"replica count must be positive, got {self.count}")
+        _require(
+            self.kind in BACKEND_KINDS,
+            f"unknown backend kind {self.kind!r}; expected one of {BACKEND_KINDS}",
+        )
+        if isinstance(self.policy, str):
+            object.__setattr__(self, "policy", Policy(self.policy))
+        if self.pb_kb is not None:
+            _require(self.pb_kb >= 0, f"pb_kb must be >= 0, got {self.pb_kb}")
+        if self.cache_update_period is not None:
+            _require(
+                self.cache_update_period > 0,
+                f"cache_update_period must be positive, got {self.cache_update_period}",
+            )
+        if isinstance(self.platform, str):
+            # Fail at spec time, not at build time.
+            platform_by_name(self.platform)
+        if self.subnet_name is not None:
+            _require(
+                self.kind == "static_subnet",
+                f"subnet_name only applies to static_subnet backends (kind={self.kind!r})",
+            )
+
+    def resolved_platform(self) -> PlatformConfig:
+        """The concrete platform this group runs on (with the PB override)."""
+        platform = (
+            platform_by_name(self.platform)
+            if isinstance(self.platform, str)
+            else self.platform
+        )
+        if self.pb_kb is not None:
+            platform = platform.with_pb(self.pb_kb)
+        return platform
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "kind": self.kind,
+            "platform": _platform_to_json(self.platform),
+            "pb_kb": self.pb_kb,
+            "policy": None if self.policy is None else self.policy.value,
+            "cache_update_period": self.cache_update_period,
+            "candidate_set_size": self.candidate_set_size,
+            "seed": self.seed,
+            "discipline": self.discipline,
+            "subnet_name": self.subnet_name,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReplicaGroupSpec":
+        data = dict(data)
+        if "platform" in data:
+            data["platform"] = _platform_from_json(data["platform"])
+        if data.get("policy") is not None:
+            data["policy"] = Policy(data["policy"])
+        return cls(**data)
+
+
+def _workload_to_json(spec: WorkloadSpec) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for f in fields(spec):
+        value = getattr(spec, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def _workload_from_json(data: Mapping[str, Any]) -> WorkloadSpec:
+    data = {k: _as_tuple(v) for k, v in dict(data).items()}
+    return WorkloadSpec(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable serving scenario.
+
+    The one object :func:`repro.serving.api.run_scenario` needs: replica
+    pool(s), routing and admission at the engine level, the constraint
+    workload, and the arrival process.
+
+    Attributes
+    ----------
+    name:
+        Scenario name (also names the generated query trace).
+    supernet_name:
+        SuperNet family every backend serves.
+    policy, cache_update_period:
+        Scenario-wide defaults, overridable per replica group.
+    replica_groups:
+        One or more :class:`ReplicaGroupSpec`; mixed groups form a
+        heterogeneous pool.
+    router, admission:
+        Engine-level routing (``round_robin`` / ``jsq`` / ``least_loaded``)
+        and admission (``admit_all`` / ``drop_expired``) policies.
+    workload:
+        Constraint-stream spec.  ``accuracy_range`` / ``latency_range_ms``
+        of None are resolved at build time from the pool's feasible ranges.
+    arrivals:
+        Arrival process spec.
+    num_queries:
+        Stream length override (None keeps ``workload.num_queries``).
+    dispatch_time_scheduling:
+        Passed through to the engine (False reproduces the legacy
+        precomputed open-loop mode).
+    seed:
+        Scenario seed: the workload seed and the default backend seed.
+    """
+
+    name: str = "scenario"
+    supernet_name: str = "ofa_resnet50"
+    policy: Policy = Policy.STRICT_ACCURACY
+    cache_update_period: int = 4
+    replica_groups: tuple[ReplicaGroupSpec, ...] = (ReplicaGroupSpec(),)
+    router: str = "round_robin"
+    admission: str = "admit_all"
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    arrivals: ArrivalSpec = field(
+        default_factory=lambda: ArrivalSpec(kind="poisson", rate_per_ms=0.1)
+    )
+    num_queries: int | None = None
+    dispatch_time_scheduling: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.policy, str):
+            object.__setattr__(self, "policy", Policy(self.policy))
+        object.__setattr__(self, "replica_groups", tuple(self.replica_groups))
+        _require(bool(self.replica_groups), "a scenario needs at least one replica group")
+        _require(self.cache_update_period > 0, "cache_update_period must be positive")
+        if self.num_queries is not None:
+            _require(self.num_queries > 0, "num_queries must be positive")
+
+    # ------------------------------------------------------------- derived
+    @property
+    def num_replicas(self) -> int:
+        return sum(g.count for g in self.replica_groups)
+
+    @property
+    def effective_num_queries(self) -> int:
+        return self.num_queries if self.num_queries is not None else self.workload.num_queries
+
+    def group_policy(self, group: ReplicaGroupSpec) -> Policy:
+        return group.policy if group.policy is not None else self.policy
+
+    def group_cache_update_period(self, group: ReplicaGroupSpec) -> int:
+        if group.cache_update_period is not None:
+            return group.cache_update_period
+        return self.cache_update_period
+
+    def group_seed(self, group: ReplicaGroupSpec) -> int:
+        return group.seed if group.seed is not None else self.seed
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict that :meth:`from_dict` inverts exactly."""
+        return {
+            "name": self.name,
+            "supernet_name": self.supernet_name,
+            "policy": self.policy.value,
+            "cache_update_period": self.cache_update_period,
+            "replica_groups": [g.to_dict() for g in self.replica_groups],
+            "router": self.router,
+            "admission": self.admission,
+            "workload": _workload_to_json(self.workload),
+            "arrivals": self.arrivals.to_dict(),
+            "num_queries": self.num_queries,
+            "dispatch_time_scheduling": self.dispatch_time_scheduling,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        data = dict(data)
+        if "policy" in data:
+            data["policy"] = Policy(data["policy"])
+        if "replica_groups" in data:
+            data["replica_groups"] = tuple(
+                ReplicaGroupSpec.from_dict(g) for g in data["replica_groups"]
+            )
+        if "workload" in data:
+            data["workload"] = _workload_from_json(data["workload"])
+        if "arrivals" in data:
+            data["arrivals"] = ArrivalSpec.from_dict(data["arrivals"])
+        return cls(**data)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def override(self, path: str, value: Any) -> "ScenarioSpec":
+        """A copy with one dotted-path field replaced (CLI ``--override``).
+
+        ``path`` addresses the serialized form, so list indices work:
+        ``"arrivals.rate_per_ms"``, ``"replica_groups.0.count"``,
+        ``"workload.pattern"``, ``"num_queries"``.
+        """
+        data = self.to_dict()
+        node: Any = data
+        parts = path.split(".")
+        for i, part in enumerate(parts[:-1]):
+            node = node[int(part)] if isinstance(node, list) else node[part]
+            if not isinstance(node, (dict, list)):
+                raise KeyError(
+                    f"override path {path!r} descends through scalar {'.'.join(parts[: i + 1])!r}"
+                )
+        leaf = parts[-1]
+        if isinstance(node, list):
+            node[int(leaf)] = value
+        else:
+            if leaf not in node:
+                raise KeyError(
+                    f"unknown field {leaf!r} in override path {path!r}; "
+                    f"available: {sorted(node)}"
+                )
+            node[leaf] = value
+        return type(self).from_dict(data)

@@ -20,13 +20,16 @@ All generators take an explicit seed so experiments are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Literal, get_args
 
 import numpy as np
 
 from repro.serving.query import Query, QueryTrace
 
 Pattern = Literal["uniform", "phased", "drift", "bursty"]
+
+#: All supported workload patterns (runtime counterpart of :data:`Pattern`).
+PATTERNS: tuple[str, ...] = get_args(Pattern)
 
 
 @dataclass(frozen=True)
@@ -38,11 +41,14 @@ class WorkloadSpec:
     num_queries:
         Stream length.
     accuracy_range:
-        (min, max) accuracy constraints, as fractions.
+        (min, max) accuracy constraints, as fractions.  ``None`` defers the
+        choice: scenario builders (:mod:`repro.serving.api`) resolve it to
+        the serving pool's feasible range at build time.
     latency_range_ms:
-        (min, max) latency constraints in ms.  Sensible values depend on the
-        SuperNet family and platform; use
-        :func:`feasible_ranges_from_table` to derive them from a latency table.
+        (min, max) latency constraints in ms, or ``None`` to defer as above.
+        Sensible explicit values depend on the SuperNet family and platform;
+        use :func:`feasible_ranges_from_table` to derive them from a latency
+        table.
     pattern:
         One of ``uniform``, ``phased``, ``drift``, ``bursty``.
     num_phases:
@@ -52,8 +58,8 @@ class WorkloadSpec:
     """
 
     num_queries: int = 200
-    accuracy_range: tuple[float, float] = (0.75, 0.80)
-    latency_range_ms: tuple[float, float] = (2.0, 20.0)
+    accuracy_range: tuple[float, float] | None = (0.75, 0.80)
+    latency_range_ms: tuple[float, float] | None = (2.0, 20.0)
     pattern: Pattern = "uniform"
     num_phases: int = 4
     burst_fraction: float = 0.2
@@ -61,16 +67,24 @@ class WorkloadSpec:
     def __post_init__(self) -> None:
         if self.num_queries <= 0:
             raise ValueError("num_queries must be positive")
-        lo, hi = self.accuracy_range
-        if not (0.0 < lo <= hi < 1.0):
-            raise ValueError(f"invalid accuracy_range {self.accuracy_range}")
-        llo, lhi = self.latency_range_ms
-        if not (0.0 < llo <= lhi):
-            raise ValueError(f"invalid latency_range_ms {self.latency_range_ms}")
+        if self.accuracy_range is not None:
+            lo, hi = self.accuracy_range
+            if not (0.0 < lo <= hi < 1.0):
+                raise ValueError(f"invalid accuracy_range {self.accuracy_range}")
+        if self.latency_range_ms is not None:
+            llo, lhi = self.latency_range_ms
+            if not (0.0 < llo <= lhi):
+                raise ValueError(f"invalid latency_range_ms {self.latency_range_ms}")
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}; expected one of {PATTERNS}")
         if self.num_phases <= 0:
             raise ValueError("num_phases must be positive")
         if not (0.0 <= self.burst_fraction <= 1.0):
             raise ValueError("burst_fraction must be in [0, 1]")
+
+    @property
+    def has_resolved_ranges(self) -> bool:
+        return self.accuracy_range is not None and self.latency_range_ms is not None
 
 
 def feasible_ranges_from_table(latency_table) -> tuple[tuple[float, float], tuple[float, float]]:
@@ -91,6 +105,12 @@ class WorkloadGenerator:
     """Seeded generator of query traces."""
 
     def __init__(self, spec: WorkloadSpec, *, seed: int = 0) -> None:
+        if not spec.has_resolved_ranges:
+            raise ValueError(
+                "workload spec has unresolved (None) constraint ranges; "
+                "resolve them first, e.g. with feasible_ranges_from_table "
+                "or by building the trace through repro.serving.api"
+            )
         self.spec = spec
         self.seed = seed
 

@@ -1,0 +1,321 @@
+"""Tests for the scenario-building facade (`repro.serving.api`).
+
+The load-bearing guarantee: a homogeneous Poisson :class:`ScenarioSpec` run
+through ``run_scenario`` is **record-identical** to PR 1's hand-wired path
+(``build_stack_engine`` + ``run_open_loop`` over an explicitly generated
+workload) — the spec layer adds expressiveness, never drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import Policy
+from repro.serving import (
+    ArrivalSpec,
+    ReplicaGroupSpec,
+    ScenarioSpec,
+    SushiStack,
+    SushiStackConfig,
+    WorkloadSpec,
+    build_stack_engine,
+)
+from repro.serving.api import (
+    build_engine,
+    build_trace,
+    format_result_summary,
+    run_scenario,
+)
+from repro.serving.workload import WorkloadGenerator, feasible_ranges_from_table
+
+SUPERNET = "ofa_mobilenetv3"
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return SushiStack(
+        SushiStackConfig(
+            supernet_name=SUPERNET, policy=Policy.STRICT_LATENCY, seed=0
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def stack_cache(stack):
+    return {stack.config: stack}
+
+
+def poisson_spec(num_replicas: int = 2, *, rate: float = 1.0, n: int = 60) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="api-test",
+        supernet_name=SUPERNET,
+        policy=Policy.STRICT_LATENCY,
+        replica_groups=(ReplicaGroupSpec(count=num_replicas, discipline="edf"),),
+        router="jsq",
+        admission="drop_expired",
+        workload=WorkloadSpec(num_queries=n, accuracy_range=None, latency_range_ms=None),
+        arrivals=ArrivalSpec(kind="poisson", rate_per_ms=rate, seed=0),
+        seed=0,
+    )
+
+
+class TestEquivalenceWithHandWiredPath:
+    """run_scenario == build_stack_engine + run_open_loop, record for record."""
+
+    def hand_wired(self, stack, *, num_replicas, rate, n):
+        acc_range, lat_range = feasible_ranges_from_table(stack.table)
+        trace = WorkloadGenerator(
+            WorkloadSpec(
+                num_queries=n, accuracy_range=acc_range, latency_range_ms=lat_range
+            ),
+            seed=0,
+        ).generate()
+        engine = build_stack_engine(
+            stack,
+            num_replicas=num_replicas,
+            discipline="edf",
+            router="jsq",
+            admission="drop_expired",
+        )
+        return engine.run_open_loop(trace, arrival_rate_per_ms=rate, seed=0)
+
+    @pytest.mark.parametrize("num_replicas", [1, 2])
+    def test_records_identical(self, stack, stack_cache, num_replicas):
+        hand = self.hand_wired(stack, num_replicas=num_replicas, rate=1.0, n=60)
+        facade = run_scenario(
+            poisson_spec(num_replicas, rate=1.0, n=60), stack_cache=stack_cache
+        )
+        assert facade.records == hand.records
+        assert facade.offered_load == hand.offered_load
+        assert facade.dropped == hand.dropped
+        assert [o.replica_index for o in facade.outcomes] == [
+            o.replica_index for o in hand.outcomes
+        ]
+        assert [o.arrival_ms for o in facade.outcomes] == [
+            o.arrival_ms for o in hand.outcomes
+        ]
+
+    def test_records_identical_without_cache(self, stack):
+        """The facade rebuilds the stack from config and still matches."""
+        hand = self.hand_wired(stack, num_replicas=2, rate=1.0, n=40)
+        facade = run_scenario(poisson_spec(2, rate=1.0, n=40))
+        assert facade.records == hand.records
+
+    def test_load_sweep_matches_hand_wired_engine(self, stack, stack_cache):
+        """The facade-migrated load_sweep reproduces the PR 1 engine loop."""
+        from repro.experiments import load_sweep
+
+        result = load_sweep.run(
+            stack=stack,
+            num_queries=40,
+            arrival_rates_per_ms=(1.0,),
+            replica_counts=(2,),
+            seed=0,
+        )
+        hand = self.hand_wired(stack, num_replicas=2, rate=1.0, n=40)
+        cell = result.cell(2, 1.0)
+        assert cell.offered_load == hand.offered_load
+        assert cell.slo_attainment == hand.slo_attainment
+        assert cell.drop_rate == hand.drop_rate
+        assert cell.mean_response_ms == hand.mean_response_ms
+        assert cell.p99_response_ms == hand.p99_response_ms
+        assert cell.achieved_throughput_per_ms == hand.achieved_throughput_per_ms
+        assert cell.mean_accuracy == hand.mean_accuracy
+
+    def test_cached_stack_never_mutated(self, stack, stack_cache):
+        before_pb = stack.pb.cached
+        before_window = stack.scheduler.cache_state_idx
+        run_scenario(poisson_spec(2, n=40), stack_cache=stack_cache)
+        assert stack.pb.cached is before_pb
+        assert stack.scheduler.cache_state_idx == before_window
+
+
+class TestHeterogeneousPools:
+    def hetero_spec(self, **arrival_kwargs) -> ScenarioSpec:
+        arrivals = arrival_kwargs or dict(kind="poisson", rate_per_ms=2.0, seed=0)
+        return ScenarioSpec(
+            name="hetero",
+            supernet_name=SUPERNET,
+            policy=Policy.STRICT_LATENCY,
+            replica_groups=(
+                ReplicaGroupSpec(count=2, pb_kb=1728.0, discipline="edf", name="large"),
+                ReplicaGroupSpec(count=2, pb_kb=432.0, discipline="edf", name="small"),
+            ),
+            router="jsq",
+            admission="drop_expired",
+            workload=WorkloadSpec(
+                num_queries=80, accuracy_range=None, latency_range_ms=None
+            ),
+            arrivals=ArrivalSpec(**arrivals),
+            seed=0,
+        )
+
+    def test_mixed_pb_sizes_build_distinct_backends(self, stack_cache):
+        spec = self.hetero_spec()
+        engine = build_engine(spec, stack_cache=stack_cache)
+        assert engine.num_replicas == 4
+        assert [r.name for r in engine.replicas] == [
+            "large-0", "large-1", "small-0", "small-1",
+        ]
+        assert [r.index for r in engine.replicas] == [0, 1, 2, 3]
+        caps = [r.server.pb.capacity_bytes for r in engine.replicas]
+        assert caps[0] == caps[1] > caps[2] == caps[3]
+        # Latency tables are shared within a group but differ across groups.
+        assert engine.replicas[0].server.table is engine.replicas[1].server.table
+        assert engine.replicas[0].server.table is not engine.replicas[2].server.table
+
+    def test_same_config_groups_get_decorrelated_clones(self, stack_cache):
+        """Splitting one pool into labeled groups must not twin the replicas."""
+        spec = ScenarioSpec(
+            supernet_name=SUPERNET,
+            policy=Policy.STRICT_LATENCY,
+            replica_groups=(
+                ReplicaGroupSpec(count=1, name="a"),
+                ReplicaGroupSpec(count=1, name="b"),
+            ),
+            arrivals=ArrivalSpec(kind="poisson", rate_per_ms=0.5),
+            seed=0,
+        )
+        engine = build_engine(spec, stack_cache=stack_cache)
+        seeds = [r.server.config.seed for r in engine.replicas]
+        assert seeds == [0, 1]
+
+    def test_hetero_pool_serves_on_both_tiers(self, stack_cache):
+        result = run_scenario(self.hetero_spec(), stack_cache=stack_cache)
+        by_name = {s.name: s for s in result.replica_stats}
+        assert result.num_offered == 80
+        assert by_name["large-0"].num_served > 0
+        assert by_name["small-0"].num_served > 0
+
+    def test_time_varying_arrivals_run_end_to_end(self, stack_cache):
+        result = run_scenario(
+            self.hetero_spec(
+                kind="time_varying", segments=((30.0, 1.0), (20.0, 6.0)), seed=0
+            ),
+            stack_cache=stack_cache,
+        )
+        assert result.num_offered == 80
+        assert result.num_served > 0
+
+
+class TestBackendKinds:
+    def spec_for(self, kind: str, **group_kwargs) -> ScenarioSpec:
+        return ScenarioSpec(
+            name=f"kind-{kind}",
+            supernet_name=SUPERNET,
+            policy=Policy.STRICT_LATENCY,
+            replica_groups=(ReplicaGroupSpec(count=2, kind=kind, **group_kwargs),),
+            router="round_robin",
+            workload=WorkloadSpec(
+                num_queries=24, accuracy_range=None, latency_range_ms=None
+            ),
+            arrivals=ArrivalSpec(kind="poisson", rate_per_ms=0.5, seed=0),
+            seed=0,
+        )
+
+    def test_no_sushi_backend(self, stack_cache):
+        result = run_scenario(self.spec_for("no_sushi"), stack_cache=stack_cache)
+        assert result.num_served == 24
+        assert all(r.cache_hit_ratio == 0.0 for r in result.records)
+
+    def test_state_unaware_backend(self, stack_cache):
+        result = run_scenario(self.spec_for("state_unaware"), stack_cache=stack_cache)
+        assert result.num_served == 24
+
+    def test_static_subnet_backend_pins_one_subnet(self, stack_cache):
+        result = run_scenario(
+            self.spec_for("static_subnet", subnet_name="C"), stack_cache=stack_cache
+        )
+        assert {r.subnet_name for r in result.records} == {"C"}
+
+    def test_static_subnet_defaults_to_most_accurate(self, stack_cache):
+        result = run_scenario(self.spec_for("static_subnet"), stack_cache=stack_cache)
+        served = {r.subnet_name for r in result.records}
+        assert len(served) == 1
+
+    def test_precomputed_backend_replays_closed_loop_records(self, stack, stack_cache):
+        spec = self.spec_for("precomputed")
+        result = run_scenario(spec, stack_cache=stack_cache)
+        trace = build_trace(spec, stack_cache=stack_cache)
+        expected = stack.clone(seed=stack.config.seed).serve(trace)
+        assert result.num_served == 24
+        # Service times and accuracies replay the precomputed records even
+        # though queueing shifts dispatch times.
+        by_index = {o.query_index: o for o in result.outcomes}
+        for rec in expected:
+            assert by_index[rec.query_index].service_ms == rec.served_latency_ms
+            assert by_index[rec.query_index].served_accuracy == rec.served_accuracy
+
+    def test_precomputed_requires_trace_at_build_time(self, stack_cache):
+        with pytest.raises(ValueError, match="trace"):
+            build_engine(self.spec_for("precomputed"), stack_cache=stack_cache)
+
+
+class TestEngineIndexAssignment:
+    def test_engine_assigns_replica_indices(self):
+        from repro.serving.engine import AcceleratorReplica, ServingEngine
+
+        class ConstantServer:
+            def serve_query(self, query, *, effective_latency_constraint_ms=None):
+                from repro.core.metrics import QueryRecord
+
+                return QueryRecord(
+                    query_index=query.index,
+                    accuracy_constraint=query.accuracy_constraint,
+                    latency_constraint_ms=query.latency_constraint_ms,
+                    subnet_name="S",
+                    served_accuracy=0.7,
+                    served_latency_ms=1.0,
+                    cache_hit_ratio=0.0,
+                    offchip_energy_mj=0.0,
+                )
+
+        replicas = [AcceleratorReplica(ConstantServer()) for _ in range(3)]
+        assert all(r.index is None for r in replicas)
+        engine = ServingEngine(replicas)
+        assert [r.index for r in engine.replicas] == [0, 1, 2]
+        assert [r.name for r in engine.replicas] == ["replica0", "replica1", "replica2"]
+        assert [r.stats.replica_index for r in engine.replicas] == [0, 1, 2]
+
+    def test_explicit_matching_indices_still_accepted(self):
+        from repro.serving.engine import AcceleratorReplica, ServingEngine
+
+        class Dummy:
+            def serve_query(self, query, *, effective_latency_constraint_ms=None):
+                raise NotImplementedError
+
+        replicas = [AcceleratorReplica(Dummy(), index=i) for i in range(2)]
+        engine = ServingEngine(replicas)
+        assert [r.index for r in engine.replicas] == [0, 1]
+
+    def test_explicit_mismatch_still_rejected(self):
+        from repro.serving.engine import AcceleratorReplica, ServingEngine
+
+        class Dummy:
+            def serve_query(self, query, *, effective_latency_constraint_ms=None):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="explicitly"):
+            ServingEngine([AcceleratorReplica(Dummy(), index=3)])
+
+    def test_assigned_name_respects_explicit_name(self):
+        from repro.serving.engine import AcceleratorReplica, ServingEngine
+
+        class Dummy:
+            def serve_query(self, query, *, effective_latency_constraint_ms=None):
+                raise NotImplementedError
+
+        replica = AcceleratorReplica(Dummy(), name="edge-tier")
+        ServingEngine([replica])
+        assert replica.index == 0
+        assert replica.name == "edge-tier"
+        assert replica.stats.name == "edge-tier"
+
+
+class TestSummary:
+    def test_format_result_summary_mentions_replicas(self, stack_cache):
+        spec = poisson_spec(2, n=30)
+        result = run_scenario(spec, stack_cache=stack_cache)
+        text = format_result_summary(spec, result)
+        assert "SLO attainment" in text
+        assert "replica0" in text and "replica1" in text

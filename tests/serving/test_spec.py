@@ -1,0 +1,286 @@
+"""Serialization and validation tests for the declarative scenario specs.
+
+The contract under test: ``Spec.from_dict(spec.to_dict()) == spec`` with
+JSON-safe dicts only, across every backend kind, arrival kind and workload
+pattern — so any scenario can live in a version-controlled ``.json`` file
+and run via ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.platforms import ANALYTIC_DEFAULT, ZCU104
+from repro.core.policies import Policy
+from repro.serving.spec import (
+    ARRIVAL_KINDS,
+    BACKEND_KINDS,
+    ArrivalSpec,
+    ReplicaGroupSpec,
+    ScenarioSpec,
+)
+from repro.serving.workload import PATTERNS, WorkloadSpec
+
+
+def roundtrip(spec):
+    """Serialize through actual JSON text, not just dicts."""
+    return type(spec).from_dict(json.loads(json.dumps(spec.to_dict())))
+
+
+def make_arrivals(kind: str) -> ArrivalSpec:
+    if kind == "time_varying":
+        return ArrivalSpec(kind=kind, segments=((10.0, 0.5), (5.0, 2.0)), seed=3)
+    return ArrivalSpec(kind=kind, rate_per_ms=0.75, seed=3)
+
+
+class TestArrivalSpec:
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_roundtrip(self, kind):
+        spec = make_arrivals(kind)
+        assert roundtrip(spec) == spec
+
+    def test_poisson_matches_engine_arrivals(self):
+        from repro.serving.engine import poisson_arrivals
+
+        spec = ArrivalSpec(kind="poisson", rate_per_ms=0.4, seed=11)
+        expected = poisson_arrivals(
+            50, 0.4, rng=np.random.default_rng(11)
+        )
+        np.testing.assert_array_equal(spec.generate(50), expected)
+
+    def test_deterministic_evenly_spaced(self):
+        spec = ArrivalSpec(kind="deterministic", rate_per_ms=2.0)
+        arrivals = spec.generate(4)
+        np.testing.assert_allclose(arrivals, [0.5, 1.0, 1.5, 2.0])
+
+    def test_time_varying_monotone_and_rate_tracks_segments(self):
+        # 100 ms at 0.1/ms then 100 ms at 5/ms, cycling: arrivals must be
+        # strictly increasing and dense segments must hold more arrivals.
+        spec = ArrivalSpec(
+            kind="time_varying", segments=((100.0, 0.1), (100.0, 5.0)), seed=0
+        )
+        arrivals = spec.generate(400)
+        assert np.all(np.diff(arrivals) > 0)
+        phase = (arrivals % 200.0) >= 100.0  # True inside the dense segment
+        assert phase.sum() > 3 * (~phase).sum()
+        assert spec.nominal_rate_per_ms() == pytest.approx((10.0 + 500.0) / 200.0)
+
+    def test_time_varying_deterministic_given_seed(self):
+        spec = make_arrivals("time_varying")
+        np.testing.assert_array_equal(spec.generate(64), spec.generate(64))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(kind="warp"),
+            dict(kind="poisson"),  # missing rate
+            dict(kind="poisson", rate_per_ms=-1.0),
+            dict(kind="poisson", rate_per_ms=1.0, segments=((1.0, 1.0),)),
+            dict(kind="time_varying"),  # missing segments
+            dict(kind="time_varying", segments=((0.0, 1.0),)),
+            dict(kind="time_varying", segments=((1.0, -2.0),)),
+            dict(kind="time_varying", rate_per_ms=1.0, segments=((1.0, 1.0),)),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ArrivalSpec(**kwargs)
+
+
+class TestReplicaGroupSpec:
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_roundtrip_all_backend_kinds(self, kind):
+        spec = ReplicaGroupSpec(
+            count=3,
+            kind=kind,
+            platform="zcu104",
+            pb_kb=256.0,
+            policy=Policy.STRICT_LATENCY,
+            cache_update_period=8,
+            discipline="edf",
+            subnet_name="C" if kind == "static_subnet" else None,
+            name="tier",
+        )
+        assert roundtrip(spec) == spec
+
+    def test_inline_platform_roundtrip(self):
+        spec = ReplicaGroupSpec(platform=ZCU104.scaled(bandwidth_gbps=40.0))
+        back = roundtrip(spec)
+        assert back == spec
+        assert back.platform.off_chip_bandwidth_gbps == 40.0
+
+    def test_resolved_platform_applies_pb_override(self):
+        spec = ReplicaGroupSpec(platform="analytic-default", pb_kb=432.0)
+        assert spec.resolved_platform() == ANALYTIC_DEFAULT.with_pb(432.0)
+        assert ReplicaGroupSpec().resolved_platform() == ANALYTIC_DEFAULT
+
+    def test_policy_accepts_string(self):
+        assert ReplicaGroupSpec(policy="strict_latency").policy is Policy.STRICT_LATENCY
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(count=0),
+            dict(kind="gpu"),
+            dict(platform="not-a-platform"),
+            dict(pb_kb=-1.0),
+            dict(cache_update_period=0),
+            dict(subnet_name="C"),  # only valid for static_subnet
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ReplicaGroupSpec(**kwargs)
+
+
+class TestScenarioSpec:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_roundtrip_all_workload_patterns(self, pattern):
+        spec = ScenarioSpec(
+            name="rt",
+            workload=WorkloadSpec(num_queries=32, pattern=pattern),
+        )
+        assert roundtrip(spec) == spec
+
+    def test_roundtrip_heterogeneous_scenario(self):
+        spec = ScenarioSpec(
+            name="hetero",
+            supernet_name="ofa_mobilenetv3",
+            policy=Policy.STRICT_LATENCY,
+            replica_groups=(
+                ReplicaGroupSpec(count=2, pb_kb=1728.0, name="large", discipline="edf"),
+                ReplicaGroupSpec(count=2, pb_kb=432.0, name="small", discipline="edf"),
+            ),
+            router="jsq",
+            admission="drop_expired",
+            workload=WorkloadSpec(
+                num_queries=64, accuracy_range=None, latency_range_ms=None
+            ),
+            arrivals=ArrivalSpec(
+                kind="time_varying", segments=((60.0, 1.0), (40.0, 6.0))
+            ),
+            seed=7,
+        )
+        assert roundtrip(spec) == spec
+        assert spec.num_replicas == 4
+
+    def test_replica_groups_normalized_to_tuple(self):
+        spec = ScenarioSpec(replica_groups=[ReplicaGroupSpec(count=2)])
+        assert isinstance(spec.replica_groups, tuple)
+
+    def test_group_level_overrides_inherit_scenario_defaults(self):
+        scenario = ScenarioSpec(
+            policy=Policy.STRICT_LATENCY,
+            cache_update_period=6,
+            seed=9,
+            replica_groups=(
+                ReplicaGroupSpec(),
+                ReplicaGroupSpec(
+                    policy=Policy.STRICT_ACCURACY, cache_update_period=2, seed=1
+                ),
+            ),
+        )
+        inherit, override = scenario.replica_groups
+        assert scenario.group_policy(inherit) is Policy.STRICT_LATENCY
+        assert scenario.group_cache_update_period(inherit) == 6
+        assert scenario.group_seed(inherit) == 9
+        assert scenario.group_policy(override) is Policy.STRICT_ACCURACY
+        assert scenario.group_cache_update_period(override) == 2
+        assert scenario.group_seed(override) == 1
+
+    def test_override_dotted_paths(self):
+        spec = ScenarioSpec(
+            replica_groups=(ReplicaGroupSpec(count=1), ReplicaGroupSpec(count=1)),
+        )
+        assert spec.override("num_queries", 42).num_queries == 42
+        assert spec.override("replica_groups.1.count", 5).replica_groups[1].count == 5
+        assert (
+            spec.override("arrivals.rate_per_ms", 0.25).arrivals.rate_per_ms == 0.25
+        )
+        assert spec.override("workload.pattern", "bursty").workload.pattern == "bursty"
+
+    def test_override_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            ScenarioSpec().override("no_such_field", 1)
+        with pytest.raises(KeyError):
+            ScenarioSpec().override("arrivals.flux", 1)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(replica_groups=())
+        with pytest.raises(ValueError):
+            ScenarioSpec(num_queries=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(cache_update_period=0)
+
+    def test_json_text_roundtrip(self):
+        spec = ScenarioSpec(name="files")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+# ----------------------------------------------------------- property-based
+arrival_specs = st.one_of(
+    st.builds(
+        ArrivalSpec,
+        kind=st.sampled_from(["poisson", "deterministic"]),
+        rate_per_ms=st.floats(0.01, 10.0, allow_nan=False),
+        seed=st.integers(0, 2**16),
+    ),
+    st.builds(
+        ArrivalSpec,
+        kind=st.just("time_varying"),
+        segments=st.lists(
+            st.tuples(st.floats(0.5, 100.0), st.floats(0.01, 10.0)),
+            min_size=1,
+            max_size=4,
+        ).map(tuple),
+        seed=st.integers(0, 2**16),
+    ),
+)
+
+replica_groups = st.builds(
+    ReplicaGroupSpec,
+    count=st.integers(1, 8),
+    kind=st.sampled_from([k for k in BACKEND_KINDS if k != "static_subnet"]),
+    platform=st.sampled_from(["analytic-default", "zcu104", "alveo-u50"]),
+    pb_kb=st.one_of(st.none(), st.floats(0.0, 1024.0)),
+    policy=st.one_of(st.none(), st.sampled_from(list(Policy))),
+    cache_update_period=st.one_of(st.none(), st.integers(1, 16)),
+    seed=st.one_of(st.none(), st.integers(0, 100)),
+    discipline=st.sampled_from(["fifo", "edf", "priority_by_slack"]),
+    name=st.one_of(st.none(), st.text(min_size=1, max_size=8)),
+)
+
+scenario_specs = st.builds(
+    ScenarioSpec,
+    name=st.text(min_size=1, max_size=12),
+    supernet_name=st.sampled_from(["ofa_resnet50", "ofa_mobilenetv3"]),
+    policy=st.sampled_from(list(Policy)),
+    cache_update_period=st.integers(1, 16),
+    replica_groups=st.lists(replica_groups, min_size=1, max_size=3).map(tuple),
+    router=st.sampled_from(["round_robin", "jsq", "least_loaded"]),
+    admission=st.sampled_from(["admit_all", "drop_expired"]),
+    workload=st.builds(
+        WorkloadSpec,
+        num_queries=st.integers(1, 500),
+        accuracy_range=st.one_of(st.none(), st.just((0.7, 0.8))),
+        latency_range_ms=st.one_of(st.none(), st.just((1.0, 20.0))),
+        pattern=st.sampled_from(PATTERNS),
+    ),
+    arrivals=arrival_specs,
+    num_queries=st.one_of(st.none(), st.integers(1, 500)),
+    dispatch_time_scheduling=st.booleans(),
+    seed=st.integers(0, 2**16),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=scenario_specs)
+def test_property_scenario_roundtrip(spec):
+    """Any valid ScenarioSpec survives a to_dict → JSON → from_dict cycle."""
+    assert roundtrip(spec) == spec

@@ -1,0 +1,152 @@
+"""Tests for the ``python -m repro`` command line."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import list_experiments
+from repro.serving import ArrivalSpec, ReplicaGroupSpec, ScenarioSpec, WorkloadSpec
+from repro.core.policies import Policy
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture()
+def scenario_file(tmp_path):
+    spec = ScenarioSpec(
+        name="cli-test",
+        supernet_name="ofa_mobilenetv3",
+        policy=Policy.STRICT_LATENCY,
+        replica_groups=(ReplicaGroupSpec(count=2, discipline="edf"),),
+        router="jsq",
+        admission="drop_expired",
+        workload=WorkloadSpec(num_queries=20, accuracy_range=None, latency_range_ms=None),
+        arrivals=ArrivalSpec(kind="poisson", rate_per_ms=0.5, seed=0),
+        seed=0,
+    )
+    path = tmp_path / "scenario.json"
+    path.write_text(spec.to_json())
+    return path
+
+
+class TestList:
+    def test_lists_every_registered_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in list_experiments():
+            assert eid in out
+
+
+class TestRun:
+    def test_runs_a_cheap_experiment(self, capsys):
+        assert main(["run", "tab01"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serves_scenario_file(self, scenario_file, capsys):
+        assert main(["serve", "--scenario", str(scenario_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out
+        assert "SLO attainment" in out
+
+    def test_override_changes_the_run(self, scenario_file, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scenario",
+                    str(scenario_file),
+                    "--override",
+                    "num_queries=10",
+                    "--override",
+                    "replica_groups.0.count=1",
+                    "--dump-spec",
+                ]
+            )
+            == 0
+        )
+        spec = ScenarioSpec.from_dict(json.loads(capsys.readouterr().out))
+        assert spec.num_queries == 10
+        assert spec.replica_groups[0].count == 1
+
+    def test_string_override_needs_no_quotes(self, scenario_file, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scenario",
+                    str(scenario_file),
+                    "--override",
+                    "workload.pattern=bursty",
+                    "--dump-spec",
+                ]
+            )
+            == 0
+        )
+        spec = ScenarioSpec.from_dict(json.loads(capsys.readouterr().out))
+        assert spec.workload.pattern == "bursty"
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["serve", "--scenario", "/no/such/file.json"]) == 2
+        assert "invalid scenario" in capsys.readouterr().err
+
+    def test_out_of_range_override_index_fails_cleanly(self, scenario_file, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scenario",
+                    str(scenario_file),
+                    "--override",
+                    "replica_groups.2.count=4",
+                ]
+            )
+            == 2
+        )
+        assert "invalid scenario" in capsys.readouterr().err
+
+    def test_invalid_override_path_fails_cleanly(self, scenario_file, capsys):
+        assert (
+            main(
+                ["serve", "--scenario", str(scenario_file), "--override", "bogus=1"]
+            )
+            == 2
+        )
+        assert "invalid scenario" in capsys.readouterr().err
+
+    def test_checked_in_hetero_scenario_parses(self):
+        path = REPO_ROOT / "examples" / "scenarios" / "hetero_pool.json"
+        spec = ScenarioSpec.from_json(path.read_text())
+        pb_sizes = {g.pb_kb for g in spec.replica_groups}
+        assert len(spec.replica_groups) == 2
+        assert len(pb_sizes) == 2  # genuinely heterogeneous
+        assert spec.arrivals.kind == "time_varying"
+
+    def test_checked_in_poisson_scenario_parses(self):
+        path = REPO_ROOT / "examples" / "scenarios" / "poisson_pool.json"
+        spec = ScenarioSpec.from_json(path.read_text())
+        assert spec.arrivals.kind == "poisson"
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "load_sweep" in proc.stdout
