@@ -5,6 +5,7 @@ serving scenario reproducible from one command line::
 
     python -m repro list
     python -m repro run fig15
+    python -m repro run frontier_autoscale --json frontier.json
     python -m repro serve --scenario examples/scenarios/hetero_pool.json \
         --override arrivals.seed=7 --override replica_groups.0.count=4
 
@@ -12,7 +13,10 @@ serving scenario reproducible from one command line::
 applies any ``--override key=value`` pairs (dotted paths into the serialized
 spec; values are parsed as JSON, falling back to strings) and prints the
 result summary.  ``--dump-spec`` echoes the effective spec after overrides,
-so a tweaked scenario can be piped back into a file.
+so a tweaked scenario can be piped back into a file.  ``run --json FILE``
+additionally dumps the experiment result as JSON (drivers may provide a
+curated ``to_jsonable``; anything else is converted field by field) — CI
+uploads these as workflow artifacts.
 """
 
 from __future__ import annotations
@@ -49,6 +53,29 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of an experiment result to JSON-safe types."""
+    import dataclasses
+    import enum
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.registry import get_experiment
 
@@ -59,6 +86,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     result = experiment.run()
     print(experiment.report(result))
+    if args.json:
+        # Drivers may provide a curated dump; anything else is converted
+        # field by field (CI uploads these files as workflow artifacts).
+        to_jsonable = getattr(experiment.module, "to_jsonable", _jsonable)
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(to_jsonable(result), fh, indent=2)
+        except OSError as exc:
+            print(f"cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -69,8 +107,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         with open(args.scenario, "r", encoding="utf-8") as fh:
             spec = ScenarioSpec.from_dict(json.load(fh))
-        for key, value in args.override or ():
-            spec = spec.override(key, value)
+        # All overrides apply atomically (one re-validation at the end), so
+        # interdependent fields — e.g. autoscaler.policy=scheduled plus its
+        # autoscaler.schedule — can be overridden together.
+        spec = spec.override_many(args.override or ())
     except (OSError, IndexError, KeyError, TypeError, ValueError) as exc:
         print(f"invalid scenario: {exc}", file=sys.stderr)
         return 2
@@ -100,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one experiment and print its report")
     run_p.add_argument("experiment_id", help="registry id, e.g. fig15 or load_sweep")
+    run_p.add_argument(
+        "--json",
+        metavar="FILE",
+        help="additionally dump the experiment result as JSON to FILE",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     serve_p = sub.add_parser(

@@ -1,0 +1,342 @@
+"""Frontier sweep (extension) — SLO attainment vs replica-seconds cost.
+
+The production question behind the paper's motivation: serving bursty
+traffic, how much capacity do you pay for a given SLO attainment?  A static
+pool must be sized for the peak and idles through the quiet hours; an
+autoscaler rides the diurnal curve but reacts late to flash crowds.  This
+experiment sweeps both over one diurnal + flash-crowd arrival trace and
+reports every (SLO attainment, replica-seconds) point:
+
+* **static** pools of 1..N replicas — the baseline frontier,
+* **reactive** autoscaling at several queue-depth thresholds,
+* **target-utilization** autoscaling at several set-points,
+* a **scheduled oracle** provisioned from the known trace — the
+  clairvoyant bound.
+
+Every cell is one declarative :class:`ScenarioSpec` (same workload, same
+arrival seed, shared latency table via the stack cache) run through
+``run_scenario`` — the same path as ``python -m repro serve``.  Points on
+the Pareto frontier (no other point has both higher attainment and lower
+cost) are starred in the report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+from repro.analysis.reporting import format_table
+from repro.core.policies import Policy
+from repro.serving.api import run_scenario
+from repro.serving.spec import (
+    ArrivalSpec,
+    AutoscalerSpec,
+    ReplicaGroupSpec,
+    ScenarioSpec,
+)
+from repro.serving.stack import SushiStack, SushiStackConfig
+from repro.serving.workload import WorkloadSpec, feasible_ranges_from_table
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One serving configuration on the SLO-vs-cost plane."""
+
+    label: str
+    kind: str
+    """``static`` / ``reactive`` / ``target_utilization`` / ``scheduled``."""
+    slo_attainment: float
+    replica_seconds: float
+    mean_replicas: float
+    peak_replicas: int
+    drop_rate: float
+    mean_accuracy: float
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    supernet_name: str
+    policy: Policy
+    num_queries: int
+    points: tuple[FrontierPoint, ...]
+
+    def static_points(self) -> tuple[FrontierPoint, ...]:
+        return tuple(p for p in self.points if p.kind == "static")
+
+    def point(self, label: str) -> FrontierPoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(f"no frontier point labelled {label!r}")
+
+    def best_static_within_cost(self, budget_replica_seconds: float) -> FrontierPoint:
+        """The best-attaining static pool not exceeding a cost budget."""
+        affordable = [
+            p
+            for p in self.static_points()
+            if p.replica_seconds <= budget_replica_seconds
+        ]
+        if not affordable:
+            raise ValueError(
+                f"no static pool fits {budget_replica_seconds:.2f} replica-seconds"
+            )
+        return max(affordable, key=lambda p: p.slo_attainment)
+
+    def pareto(self) -> tuple[FrontierPoint, ...]:
+        """Points no other point dominates (higher attainment, lower cost)."""
+        out = []
+        for p in self.points:
+            dominated = any(
+                (q.slo_attainment > p.slo_attainment and q.replica_seconds <= p.replica_seconds)
+                or (q.slo_attainment >= p.slo_attainment and q.replica_seconds < p.replica_seconds)
+                for q in self.points
+            )
+            if not dominated:
+                out.append(p)
+        return tuple(sorted(out, key=lambda p: p.replica_seconds))
+
+
+def diurnal_flash_segments(
+    unit_ms: float, *, cycles_hint: float = 1.0
+) -> tuple[tuple[float, float], ...]:
+    """One diurnal day with a flash crowd, in units of the fastest service.
+
+    ``unit_ms`` is the latency table's fastest service time; rates are
+    expressed as multiples of one replica's peak capacity (``1/unit_ms``),
+    so the same shape stresses any platform identically: a quiet night at
+    0.3x, a working day at 1.3x (one replica already saturated), a short
+    flash crowd at 4x, then back to the day level.
+    """
+    day = (
+        (300.0 * unit_ms * cycles_hint, 0.3 / unit_ms),
+        (150.0 * unit_ms * cycles_hint, 1.3 / unit_ms),
+        (50.0 * unit_ms * cycles_hint, 4.0 / unit_ms),
+        (150.0 * unit_ms * cycles_hint, 1.3 / unit_ms),
+    )
+    return day
+
+
+def _scenario(
+    *,
+    name: str,
+    supernet_name: str,
+    policy: Policy,
+    stack: SushiStack,
+    workload: WorkloadSpec,
+    arrivals: ArrivalSpec,
+    count: int,
+    autoscaler: AutoscalerSpec | None,
+    seed: int,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        supernet_name=supernet_name,
+        policy=policy,
+        cache_update_period=stack.config.cache_update_period,
+        replica_groups=(
+            ReplicaGroupSpec(
+                count=count,
+                platform=stack.config.platform,
+                candidate_set_size=stack.config.candidate_set_size,
+                seed=stack.config.seed,
+                discipline="edf",
+            ),
+        ),
+        router="jsq",
+        admission="drop_expired",
+        workload=workload,
+        arrivals=arrivals,
+        autoscaler=autoscaler,
+        seed=seed,
+    )
+
+
+def run(
+    supernet_name: str = "ofa_mobilenetv3",
+    *,
+    policy: Policy = Policy.STRICT_LATENCY,
+    num_queries: int = 600,
+    static_counts: tuple[int, ...] = (1, 2, 3, 4, 6),
+    reactive_queue_thresholds: tuple[float, ...] = (2.0, 4.0),
+    utilization_targets: tuple[float, ...] = (0.45, 0.65),
+    max_replicas: int = 6,
+    seed: int = 0,
+    stack: SushiStack | None = None,
+) -> FrontierResult:
+    """Sweep static pools and autoscaling policies over one bursty trace.
+
+    The arrival trace is a diurnal day with a flash crowd
+    (:func:`diurnal_flash_segments`), cycling until ``num_queries`` are
+    drawn.  All cells share the trace, the workload constraints, and one
+    latency table (via the stack cache), so the only variable is the
+    provisioning strategy.
+    """
+    if stack is None:
+        stack = SushiStack(
+            SushiStackConfig(
+                supernet_name=supernet_name,
+                policy=policy,
+                seed=seed,
+            )
+        )
+    else:
+        supernet_name = stack.supernet.name
+        policy = stack.config.policy
+    stack_cache = {stack.config: stack}
+    unit_ms = float(stack.table.latencies_ms.min())
+    segments = diurnal_flash_segments(unit_ms)
+    arrivals = ArrivalSpec(kind="time_varying", segments=segments, seed=seed)
+    acc_range, lat_range = feasible_ranges_from_table(stack.table)
+    workload = WorkloadSpec(
+        num_queries=num_queries,
+        accuracy_range=acc_range,
+        latency_range_ms=lat_range,
+        pattern="bursty",
+    )
+    control_interval = 20.0 * unit_ms
+    common = dict(
+        supernet_name=supernet_name,
+        policy=policy,
+        stack=stack,
+        workload=workload,
+        arrivals=arrivals,
+        seed=seed,
+    )
+
+    cells: list[tuple[str, str, ScenarioSpec]] = []
+    for n in static_counts:
+        cells.append(
+            (
+                f"static-{n}",
+                "static",
+                _scenario(name=f"static-{n}", count=n, autoscaler=None, **common),
+            )
+        )
+    base_auto = dict(
+        control_interval_ms=control_interval,
+        min_replicas=1,
+        max_replicas=max_replicas,
+        down_cooldown_ms=2.0 * control_interval,
+    )
+    for q in reactive_queue_thresholds:
+        auto = AutoscalerSpec(
+            policy="reactive", max_queue_per_replica=q, **base_auto
+        )
+        cells.append(
+            (
+                f"reactive-q{q:g}",
+                "reactive",
+                _scenario(
+                    name=f"reactive-q{q:g}", count=1, autoscaler=auto, **common
+                ),
+            )
+        )
+    for target in utilization_targets:
+        auto = AutoscalerSpec(
+            policy="target_utilization", target_utilization=target, **base_auto
+        )
+        cells.append(
+            (
+                f"target-u{target:g}",
+                "target_utilization",
+                _scenario(
+                    name=f"target-u{target:g}", count=1, autoscaler=auto, **common
+                ),
+            )
+        )
+    # The oracle plan: provision each segment for its offered load (rate x
+    # fastest service, padded 30% for constraint mix and arrival noise),
+    # cycling with the trace's period.
+    t, plan = 0.0, []
+    for duration, rate in segments:
+        plan.append((t, max(1, min(max_replicas, math.ceil(1.3 * rate * unit_ms)))))
+        t += duration
+    auto = AutoscalerSpec(
+        policy="scheduled",
+        schedule=tuple(plan),
+        period_ms=t,
+        **base_auto,
+    )
+    cells.append(
+        (
+            "oracle-schedule",
+            "scheduled",
+            _scenario(
+                name="oracle-schedule",
+                count=plan[0][1],
+                autoscaler=auto,
+                **common,
+            ),
+        )
+    )
+
+    points = []
+    for label, kind, spec in cells:
+        result = run_scenario(spec, stack_cache=stack_cache)
+        report = result.autoscale
+        points.append(
+            FrontierPoint(
+                label=label,
+                kind=kind,
+                slo_attainment=result.slo_attainment,
+                replica_seconds=result.replica_seconds,
+                mean_replicas=result.mean_active_replicas,
+                peak_replicas=(
+                    len(result.replica_stats)
+                    if report is None
+                    else report.peak_replicas
+                ),
+                drop_rate=result.drop_rate,
+                mean_accuracy=result.mean_accuracy,
+            )
+        )
+    return FrontierResult(
+        supernet_name=supernet_name,
+        policy=policy,
+        num_queries=num_queries,
+        points=tuple(points),
+    )
+
+
+def report(result: FrontierResult) -> str:
+    pareto = {p.label for p in result.pareto()}
+    rows = {}
+    for p in sorted(result.points, key=lambda p: p.replica_seconds):
+        star = "*" if p.label in pareto else " "
+        rows[f"{star} {p.label}"] = {
+            "kind": p.kind,
+            "SLO attainment": p.slo_attainment,
+            "replica-seconds": p.replica_seconds,
+            "mean replicas": p.mean_replicas,
+            "peak replicas": p.peak_replicas,
+            "drop rate": p.drop_rate,
+            "mean accuracy (%)": 100.0 * p.mean_accuracy,
+        }
+    return format_table(
+        rows,
+        title=(
+            f"SLO-attainment-vs-cost frontier — {result.supernet_name} "
+            f"({result.policy.value}), {result.num_queries} queries, "
+            "diurnal + flash-crowd trace (* = Pareto-optimal)"
+        ),
+        precision=3,
+    )
+
+
+def to_jsonable(result: FrontierResult) -> dict:
+    """A JSON-safe dump of the frontier (CI uploads this as an artifact)."""
+    return {
+        "supernet_name": result.supernet_name,
+        "policy": result.policy.value,
+        "num_queries": result.num_queries,
+        "points": [asdict(p) for p in result.points],
+        "pareto": [p.label for p in result.pareto()],
+    }
+
+
+def main() -> None:  # pragma: no cover
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

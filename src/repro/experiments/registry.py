@@ -15,6 +15,7 @@ from repro.experiments import (
     fig15_scheduler_functional,
     fig16_end_to_end,
     fig17_18_temporal,
+    frontier_autoscale,
     headline,
     load_sweep,
     tab01_bandwidth,
@@ -57,6 +58,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "load_sweep",
             "Open-loop SLO attainment vs load and replica count",
             load_sweep,
+        ),
+        Experiment(
+            "frontier_autoscale",
+            "SLO-attainment-vs-cost frontier: autoscaling vs static pools",
+            frontier_autoscale,
         ),
         Experiment("tab01", "Buffer bandwidth requirements", tab01_bandwidth),
         Experiment("tab02", "FPGA resource comparison", tab02_resources),

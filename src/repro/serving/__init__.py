@@ -30,7 +30,18 @@ from repro.serving.engine import (
     build_stack_engine,
 )
 from repro.serving.simulator import OpenLoopSimulator
-from repro.serving.spec import ArrivalSpec, ReplicaGroupSpec, ScenarioSpec
+from repro.serving.autoscale import (
+    AutoscaleController,
+    AutoscaleReport,
+    ScalingEvent,
+    TelemetryBus,
+)
+from repro.serving.spec import (
+    ArrivalSpec,
+    AutoscalerSpec,
+    ReplicaGroupSpec,
+    ScenarioSpec,
+)
 from repro.serving.api import (
     build_engine,
     build_trace,
@@ -57,8 +68,13 @@ __all__ = [
     "build_stack_engine",
     "OpenLoopSimulator",
     "ArrivalSpec",
+    "AutoscaleController",
+    "AutoscaleReport",
+    "AutoscalerSpec",
     "ReplicaGroupSpec",
+    "ScalingEvent",
     "ScenarioSpec",
+    "TelemetryBus",
     "build_engine",
     "build_trace",
     "format_result_summary",

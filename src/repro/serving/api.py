@@ -37,6 +37,7 @@ from typing import Callable
 
 from repro.accelerator.analytic_model import SushiAccelModel
 from repro.accelerator.platforms import PlatformConfig
+from repro.serving.autoscale import AutoscaleController
 from repro.serving.baselines import (
     FixedSubNetServer,
     NoSushiServer,
@@ -244,9 +245,17 @@ def build_engine(
     """
     if stack_cache is None:
         stack_cache = {}
+    scaled = spec.scaled_group() if spec.autoscaler is not None else None
+    scaled_builder = None
+    scaled_positions: list[int] = []
     replicas: list[AcceleratorReplica] = []
     for group in spec.replica_groups:
         make_server = _server_builder(spec, group, stack_cache, trace)
+        if group is scaled:
+            scaled_builder = make_server
+            scaled_positions = list(
+                range(len(replicas), len(replicas) + group.count)
+            )
         for j in range(group.count):
             replicas.append(
                 AcceleratorReplica(
@@ -255,11 +264,41 @@ def build_engine(
                     name=f"{group.name}-{j}" if group.name else None,
                 )
             )
+    autoscaler = None
+    scalable_indices = None
+    if spec.autoscaler is not None:
+        a = spec.autoscaler
+        group, builder = scaled, scaled_builder
+
+        def factory(position: int) -> AcceleratorReplica:
+            # Scale-up replica at engine-global index ``position``: the same
+            # backend construction as the group's build-time replicas (SUSHI
+            # groups clone the template stack — cold PB, shared table, seed
+            # decorrelated by position), named after the group.
+            return AcceleratorReplica(
+                builder(position),
+                discipline=group.discipline,
+                name=f"{group.name}-{position}" if group.name else None,
+            )
+
+        autoscaler = AutoscaleController(
+            a.build_policy(),
+            control_interval_ms=a.control_interval_ms,
+            window_ms=a.window_ms,
+            min_replicas=a.min_replicas,
+            max_replicas=a.max_replicas,
+            up_cooldown_ms=a.up_cooldown_ms,
+            down_cooldown_ms=a.down_cooldown_ms,
+            replica_factory=factory,
+        )
+        scalable_indices = scaled_positions
     return ServingEngine(
         replicas,
         router=spec.router,
         admission=spec.admission,
         dispatch_time_scheduling=spec.dispatch_time_scheduling,
+        autoscaler=autoscaler,
+        scalable_indices=scalable_indices,
     )
 
 
@@ -302,21 +341,37 @@ def format_result_summary(spec: ScenarioSpec, result: SimulationResult) -> str:
             "p99 response (ms)": result.p99_response_ms,
             "throughput (/ms)": result.achieved_throughput_per_ms,
             "mean accuracy (%)": 100.0 * result.mean_accuracy,
+            "replica-seconds": result.replica_seconds,
         }
     }
+    if result.autoscale is not None:
+        rows["autoscaler"] = {
+            "policy": result.autoscale.policy,
+            "controls": result.autoscale.num_controls,
+            "scale-ups": result.autoscale.num_scale_ups,
+            "scale-downs": result.autoscale.num_scale_downs,
+            "peak replicas": result.autoscale.peak_replicas,
+            "mean replicas": result.mean_active_replicas,
+        }
     makespan = max((o.completion_ms for o in result.outcomes), default=0.0)
     for stats in result.replica_stats:
+        # Utilization over the replica's own provisioned time, not the
+        # whole run: a scale-up replica alive for a tenth of the run at
+        # full tilt is 1.0, not 0.1.
         rows[stats.name] = {
             "served": stats.num_served,
             "dropped": stats.num_dropped,
             "mean queueing (ms)": stats.mean_queueing_ms,
-            "utilization": stats.utilization(makespan),
+            "utilization": stats.utilization(
+                stats.active_ms if stats.active_ms > 0 else makespan
+            ),
         }
     return format_table(
         rows,
         title=(
             f"Scenario {spec.name!r} — {spec.supernet_name}, "
             f"{spec.router}/{spec.admission}, arrivals={spec.arrivals.kind}"
+            + ("" if spec.autoscaler is None else ", autoscaled")
         ),
         precision=3,
     )

@@ -1,0 +1,51 @@
+"""Autoscaling control plane over the discrete-event serving engine.
+
+Three layers, mirroring a production autoscaler:
+
+* **Telemetry** (:mod:`.telemetry`) — the engine feeds a
+  :class:`TelemetryBus` per event; policies read sliding-window
+  :class:`MetricsSnapshot`\\ s (queue depth, drop rate, utilization,
+  p95 wait).
+* **Policies** (:mod:`.policies`) — pluggable desired-size functions:
+  ``reactive`` thresholds, ``target_utilization`` proportional control,
+  and a ``scheduled`` oracle plan.
+* **Controller** (:mod:`.controller`) — evaluates the policy every control
+  interval, clamps to ``[min, max]``, enforces cooldowns, and logs
+  :class:`ScalingEvent`\\ s into an :class:`AutoscaleReport`.
+
+The engine enacts decisions: scale-up clones the replica group's SUSHI
+stack (cold Persistent Buffer, shared latency table); scale-down drains a
+replica before retiring it.  Per-replica active-time accounting turns the
+lifecycle into a replica-seconds *cost* metric, making the
+SLO-attainment-vs-cost frontier measurable (the ``frontier_autoscale``
+experiment).
+"""
+
+from repro.serving.autoscale.controller import (
+    AutoscaleController,
+    AutoscaleReport,
+    ScalingEvent,
+)
+from repro.serving.autoscale.policies import (
+    POLICY_NAMES,
+    ReactivePolicy,
+    ScalingPolicy,
+    SchedulePolicy,
+    TargetUtilizationPolicy,
+    make_policy,
+)
+from repro.serving.autoscale.telemetry import MetricsSnapshot, TelemetryBus
+
+__all__ = [
+    "AutoscaleController",
+    "AutoscaleReport",
+    "MetricsSnapshot",
+    "POLICY_NAMES",
+    "ReactivePolicy",
+    "ScalingEvent",
+    "ScalingPolicy",
+    "SchedulePolicy",
+    "TargetUtilizationPolicy",
+    "TelemetryBus",
+    "make_policy",
+]

@@ -1,0 +1,185 @@
+"""The autoscale controller: policy + telemetry + actuation bookkeeping.
+
+The controller sits between the serving engine and a scaling policy.  Every
+``control_interval_ms`` of simulated time the engine hands it a pool
+snapshot; the controller asks the policy for a desired size, clamps it to
+``[min_replicas, max_replicas]``, enforces directional cooldowns, and logs
+the resulting :class:`ScalingEvent`.  The *engine* enacts the decision —
+cloning fresh replicas on scale-up, draining-then-retiring on scale-down —
+because replica lifecycle is engine state; the controller only decides and
+accounts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.serving.autoscale.policies import ScalingPolicy, make_policy
+from repro.serving.autoscale.telemetry import MetricsSnapshot, TelemetryBus
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One enacted (or attempted) scaling decision."""
+
+    time_ms: float
+    action: str
+    """``scale_up`` / ``scale_down`` / ``held`` (cooldown or clamp bound)."""
+    from_replicas: int
+    to_replicas: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class AutoscaleReport:
+    """Control-plane summary attached to a :class:`SimulationResult`."""
+
+    policy: str
+    control_interval_ms: float
+    num_controls: int
+    events: tuple[ScalingEvent, ...]
+    peak_replicas: int
+    final_replicas: int
+
+    @property
+    def num_scale_ups(self) -> int:
+        return sum(1 for e in self.events if e.action == "scale_up")
+
+    @property
+    def num_scale_downs(self) -> int:
+        return sum(1 for e in self.events if e.action == "scale_down")
+
+
+class AutoscaleController:
+    """Evaluate a scaling policy at a fixed control interval.
+
+    Parameters
+    ----------
+    policy:
+        Scaling policy name or instance (see
+        :func:`~repro.serving.autoscale.policies.make_policy`).
+    control_interval_ms:
+        Simulated time between policy evaluations.
+    window_ms:
+        Telemetry sliding window (default: twice the control interval).
+    min_replicas, max_replicas:
+        Hard bounds on the scalable pool size.
+    up_cooldown_ms, down_cooldown_ms:
+        Minimum time between consecutive scale-ups / scale-downs.  Scaling
+        up is usually allowed faster than scaling down (drops hurt more
+        than idle replicas).
+    replica_factory:
+        ``factory(position) -> AcceleratorReplica`` used by the engine to
+        create a replica at engine-global index ``position`` on scale-up
+        (for SUSHI pools: a fresh clone of the group's stack — cold
+        Persistent Buffer, shared latency table).
+    """
+
+    def __init__(
+        self,
+        policy: str | ScalingPolicy = "reactive",
+        *,
+        control_interval_ms: float = 50.0,
+        window_ms: float | None = None,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+        up_cooldown_ms: float = 0.0,
+        down_cooldown_ms: float = 0.0,
+        replica_factory: Callable[[int], object] | None = None,
+    ) -> None:
+        if control_interval_ms <= 0:
+            raise ValueError("control_interval_ms must be positive")
+        if min_replicas <= 0:
+            raise ValueError("min_replicas must be positive")
+        if max_replicas < min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if up_cooldown_ms < 0 or down_cooldown_ms < 0:
+            raise ValueError("cooldowns must be non-negative")
+        self.policy = make_policy(policy)
+        self.control_interval_ms = float(control_interval_ms)
+        self.bus = TelemetryBus(
+            window_ms if window_ms is not None else 2.0 * control_interval_ms
+        )
+        self.min_replicas = int(min_replicas)
+        self.max_replicas = int(max_replicas)
+        self.up_cooldown_ms = float(up_cooldown_ms)
+        self.down_cooldown_ms = float(down_cooldown_ms)
+        self.replica_factory = replica_factory
+        self._events: list[ScalingEvent] = []
+        self._num_controls = 0
+        self._last_up_ms = -float("inf")
+        self._last_down_ms = -float("inf")
+        self._peak = 0
+
+    # ------------------------------------------------------------- decisions
+    def decide(self, snapshot: MetricsSnapshot) -> int:
+        """Desired scalable-pool size for this tick (after clamp/cooldown).
+
+        Returns the number of replicas the pool should have; the engine
+        compares it with the current active count and enacts the delta.
+        """
+        self._num_controls += 1
+        active = snapshot.num_active
+        self._peak = max(self._peak, active)
+        desired, reason = self.policy.desired_replicas(snapshot)
+        desired = max(self.min_replicas, min(self.max_replicas, desired))
+        now = snapshot.time_ms
+        if desired > active:
+            if now - self._last_up_ms < self.up_cooldown_ms:
+                self._log(now, "held", active, active, f"up cooldown ({reason})")
+                return active
+            self._last_up_ms = now
+            self._log(now, "scale_up", active, desired, reason)
+        elif desired < active:
+            if now - self._last_down_ms < self.down_cooldown_ms:
+                self._log(now, "held", active, active, f"down cooldown ({reason})")
+                return active
+            self._last_down_ms = now
+            self._log(now, "scale_down", active, desired, reason)
+        self._peak = max(self._peak, desired)
+        return desired
+
+    def _log(
+        self, now: float, action: str, from_n: int, to_n: int, reason: str
+    ) -> None:
+        self._events.append(
+            ScalingEvent(
+                time_ms=now,
+                action=action,
+                from_replicas=from_n,
+                to_replicas=to_n,
+                reason=reason,
+            )
+        )
+
+    # -------------------------------------------------------------- lifecycle
+    def make_replica(self, position: int):
+        """A fresh replica for engine-global index ``position`` (scale-up)."""
+        if self.replica_factory is None:
+            raise RuntimeError(
+                "this autoscale controller has no replica_factory; "
+                "scale-up needs one to create replicas"
+            )
+        return self.replica_factory(position)
+
+    def reset(self) -> None:
+        """Fresh telemetry, cooldowns and event log for a new run."""
+        self.bus.reset()
+        self.policy.reset()
+        self._events.clear()
+        self._num_controls = 0
+        self._last_up_ms = -float("inf")
+        self._last_down_ms = -float("inf")
+        self._peak = 0
+
+    def report(self, *, final_replicas: int) -> AutoscaleReport:
+        """Summarize the run's control activity."""
+        return AutoscaleReport(
+            policy=self.policy.name,
+            control_interval_ms=self.control_interval_ms,
+            num_controls=self._num_controls,
+            events=tuple(self._events),
+            peak_replicas=max(self._peak, final_replicas),
+            final_replicas=final_replicas,
+        )

@@ -1,0 +1,222 @@
+"""Pluggable scaling policies: how many replicas *should* be serving.
+
+A policy is a pure function from a :class:`~repro.serving.autoscale.telemetry.MetricsSnapshot`
+to a desired replica count (plus a human-readable reason).  Three are
+provided, spanning the classic design space:
+
+* ``reactive`` — threshold rules on the observable distress signals: scale
+  up when the windowed drop rate or per-replica queue depth crosses a
+  threshold, scale down when utilization falls below a floor with an empty
+  queue.  The workhorse policy: no model of the workload, reacts only to
+  what already went wrong.
+* ``target_utilization`` — proportional control toward a utilization
+  set-point: desired = ceil(active x utilization / target), with a deadband
+  so steady traffic does not oscillate.  Reacts *before* queues form, but
+  needs a well-chosen target.
+* ``scheduled`` — an oracle/time-of-day plan: a piecewise-constant replica
+  count over (optionally cyclic) simulation time.  With the plan derived
+  from the known trace this is the clairvoyant upper bound reactive
+  policies are judged against.
+
+The controller clamps every decision to ``[min_replicas, max_replicas]``
+and applies scale-up/scale-down cooldowns; policies themselves are
+stateless between ticks.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+from repro.serving.autoscale.telemetry import MetricsSnapshot
+
+
+class ScalingPolicy(abc.ABC):
+    """Map windowed telemetry to a desired scalable-pool size."""
+
+    name: str
+
+    @abc.abstractmethod
+    def desired_replicas(self, snapshot: MetricsSnapshot) -> tuple[int, str]:
+        """(desired replica count, reason) for this control tick."""
+
+    def reset(self) -> None:
+        """Clear any policy state between runs (default: stateless)."""
+
+
+class ReactivePolicy(ScalingPolicy):
+    """Threshold rules on drop rate, queue depth and utilization.
+
+    Scale up by ``scale_up_step`` when the windowed drop rate exceeds
+    ``max_drop_rate`` *or* the instantaneous queue depth exceeds
+    ``max_queue_per_replica`` per active replica; scale down by
+    ``scale_down_step`` when utilization sits below ``min_utilization``
+    and the queue is no deeper than the active replica count (i.e. nothing
+    is waiting beyond what is already being served).
+    """
+
+    name = "reactive"
+
+    def __init__(
+        self,
+        *,
+        max_drop_rate: float = 0.05,
+        max_queue_per_replica: float = 4.0,
+        min_utilization: float = 0.40,
+        scale_up_step: int = 1,
+        scale_down_step: int = 1,
+    ) -> None:
+        if not (0.0 <= max_drop_rate <= 1.0):
+            raise ValueError("max_drop_rate must be in [0, 1]")
+        if max_queue_per_replica <= 0:
+            raise ValueError("max_queue_per_replica must be positive")
+        if not (0.0 <= min_utilization <= 1.0):
+            raise ValueError("min_utilization must be in [0, 1]")
+        if scale_up_step <= 0 or scale_down_step <= 0:
+            raise ValueError("scale steps must be positive")
+        self.max_drop_rate = max_drop_rate
+        self.max_queue_per_replica = max_queue_per_replica
+        self.min_utilization = min_utilization
+        self.scale_up_step = scale_up_step
+        self.scale_down_step = scale_down_step
+
+    def desired_replicas(self, snapshot: MetricsSnapshot) -> tuple[int, str]:
+        active = max(snapshot.num_active, 1)
+        queue_limit = self.max_queue_per_replica * active
+        if snapshot.drop_rate > self.max_drop_rate:
+            return (
+                snapshot.num_active + self.scale_up_step,
+                f"drop_rate {snapshot.drop_rate:.3f} > {self.max_drop_rate:.3f}",
+            )
+        if snapshot.queue_depth > queue_limit:
+            return (
+                snapshot.num_active + self.scale_up_step,
+                f"queue_depth {snapshot.queue_depth} > {queue_limit:.1f}",
+            )
+        if (
+            snapshot.utilization < self.min_utilization
+            and snapshot.queue_depth <= snapshot.num_active
+        ):
+            return (
+                snapshot.num_active - self.scale_down_step,
+                f"utilization {snapshot.utilization:.3f} < {self.min_utilization:.3f}",
+            )
+        return snapshot.num_active, "steady"
+
+
+class TargetUtilizationPolicy(ScalingPolicy):
+    """Proportional control toward a utilization set-point.
+
+    ``utilization x active`` is the busy-replica-equivalent demand of the
+    window; dividing by the target utilization converts demand into the pool
+    size that would serve it at the set-point.  Decisions inside the
+    ``deadband`` around the target are suppressed to avoid oscillation.
+    """
+
+    name = "target_utilization"
+
+    def __init__(
+        self, *, target_utilization: float = 0.60, deadband: float = 0.10
+    ) -> None:
+        if not (0.0 < target_utilization <= 1.0):
+            raise ValueError("target_utilization must be in (0, 1]")
+        if not (0.0 <= deadband < 1.0):
+            raise ValueError("deadband must be in [0, 1)")
+        self.target_utilization = target_utilization
+        self.deadband = deadband
+
+    def desired_replicas(self, snapshot: MetricsSnapshot) -> tuple[int, str]:
+        low = self.target_utilization - self.deadband
+        high = self.target_utilization + self.deadband
+        if low <= snapshot.utilization <= high:
+            return snapshot.num_active, (
+                f"utilization {snapshot.utilization:.3f} within "
+                f"[{low:.2f}, {high:.2f}]"
+            )
+        # Utilization is measured against the capacity that produced the
+        # busy time — active *and* draining replicas — so demand must be
+        # un-normalized by the same count, or a burst arriving mid-drain
+        # would be under-provisioned.
+        capacity = max(snapshot.num_active + snapshot.num_draining, 1)
+        demand = snapshot.utilization * capacity
+        # The epsilon keeps float dust (0.8 * 6 / 0.6 = 8.000000000000002)
+        # from ceiling into a phantom extra replica.
+        desired = max(1, math.ceil(demand / self.target_utilization - 1e-9))
+        return desired, (
+            f"utilization {snapshot.utilization:.3f} -> "
+            f"{desired} at target {self.target_utilization:.2f}"
+        )
+
+
+class SchedulePolicy(ScalingPolicy):
+    """A piecewise-constant replica plan over simulation time.
+
+    ``schedule`` is a sequence of ``(start_ms, replicas)`` entries sorted by
+    start time; the plan holds each count from its start until the next
+    entry.  With ``period_ms`` the plan cycles (diurnal days); before the
+    first entry of a non-cyclic plan the first entry's count applies.
+
+    Fed from the *known* arrival trace this is the oracle baseline: it
+    provisions for load the reactive policies can only discover after the
+    queues have already grown.
+    """
+
+    name = "scheduled"
+
+    def __init__(
+        self,
+        schedule: Sequence[tuple[float, int]],
+        *,
+        period_ms: float | None = None,
+    ) -> None:
+        entries = tuple((float(t), int(n)) for t, n in schedule)
+        if not entries:
+            raise ValueError("scheduled policy needs at least one (time, count) entry")
+        if any(n <= 0 for _, n in entries):
+            raise ValueError("scheduled replica counts must be positive")
+        if list(entries) != sorted(entries, key=lambda e: e[0]):
+            raise ValueError("schedule entries must be sorted by start time")
+        if period_ms is not None and period_ms <= entries[-1][0]:
+            raise ValueError("period_ms must exceed the last schedule entry start")
+        self.schedule = entries
+        self.period_ms = period_ms
+
+    def desired_replicas(self, snapshot: MetricsSnapshot) -> tuple[int, str]:
+        t = snapshot.time_ms
+        if self.period_ms is not None:
+            t = t % self.period_ms
+        desired = self.schedule[0][1]
+        if self.period_ms is not None and t < self.schedule[0][0]:
+            # Inside a cycle but before its first entry: the tail of the
+            # previous cycle is still in effect.
+            desired = self.schedule[-1][1]
+        for start, count in self.schedule:
+            if t >= start:
+                desired = count
+        return desired, f"plan at t={t:.1f}ms"
+
+
+_POLICIES = {
+    ReactivePolicy.name: ReactivePolicy,
+    TargetUtilizationPolicy.name: TargetUtilizationPolicy,
+    SchedulePolicy.name: SchedulePolicy,
+}
+
+#: Names of the registered scaling policies.
+POLICY_NAMES: tuple[str, ...] = tuple(sorted(_POLICIES))
+
+
+def make_policy(spec: str | ScalingPolicy, **kwargs) -> ScalingPolicy:
+    """Build a scaling policy from a name (plus kwargs), or pass through."""
+    if isinstance(spec, ScalingPolicy):
+        if kwargs:
+            raise ValueError("cannot pass kwargs with a ScalingPolicy instance")
+        return spec
+    try:
+        cls = _POLICIES[spec]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scaling policy {spec!r}; available: {sorted(_POLICIES)}"
+        ) from exc
+    return cls(**kwargs)

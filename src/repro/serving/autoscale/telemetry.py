@@ -1,0 +1,191 @@
+"""Telemetry bus: the control plane's window into the data plane.
+
+The serving engine feeds the bus one call per event — arrivals, dispatches,
+completions and drops — and the bus maintains *sliding-window* views of them
+(a deque per signal, pruned lazily).  At every control tick the autoscale
+controller asks for a :class:`MetricsSnapshot`: queue depth, windowed arrival
+rate, drop rate, utilization and the p95 dispatch wait — the observable
+signals scaling policies act on.
+
+The bus never looks inside the engine: instantaneous state (queue depth,
+active replica counts) is passed in at snapshot time by the caller, while
+everything windowed is accumulated from the per-event feed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Sliding-window metrics handed to a scaling policy at a control tick.
+
+    Attributes
+    ----------
+    time_ms:
+        Simulation time of the control tick.
+    window_ms:
+        The *effective* window the rates below were measured over
+        (``min(configured window, elapsed time)``).
+    num_active:
+        Active (routable) replicas of the scalable pool.
+    num_draining:
+        Replicas still finishing their queues before retirement.
+    queue_depth:
+        Waiting plus in-service queries across the live pool, right now.
+    arrival_rate_per_ms:
+        Arrivals in the window divided by the window.
+    drop_rate:
+        Fraction of dispatch attempts in the window shed by admission
+        control (0 when the window saw neither dispatches nor drops).
+    utilization:
+        Busy time in the window across live replicas divided by
+        ``window x num_active`` (clipped to [0, 1]).
+    p95_wait_ms:
+        95th percentile of the queueing delay of dispatches in the window.
+    mean_service_ms:
+        Mean service time of completions in the window (0 when none).
+    """
+
+    time_ms: float
+    window_ms: float
+    num_active: int
+    num_draining: int
+    queue_depth: int
+    arrival_rate_per_ms: float
+    drop_rate: float
+    utilization: float
+    p95_wait_ms: float
+    mean_service_ms: float
+
+
+class TelemetryBus:
+    """Accumulates per-event serving telemetry over a sliding window.
+
+    Parameters
+    ----------
+    window_ms:
+        Length of the sliding window the metrics are computed over.
+        Typically a small multiple of the autoscaler's control interval, so
+        consecutive control decisions see overlapping but fresh evidence.
+    """
+
+    def __init__(self, window_ms: float) -> None:
+        if window_ms <= 0:
+            raise ValueError("telemetry window_ms must be positive")
+        self.window_ms = float(window_ms)
+        self._arrivals: deque[float] = deque()
+        self._drops: deque[float] = deque()
+        self._waits: deque[tuple[float, float]] = deque()  # (time, wait_ms)
+        self._services: deque[tuple[float, float]] = deque()  # (start, end)
+        self._in_service_starts: dict[int, float] = {}  # replica idx -> start
+        self.total_arrivals = 0
+        self.total_dispatches = 0
+        self.total_completions = 0
+        self.total_drops = 0
+
+    # ------------------------------------------------------------ event feed
+    def on_arrival(self, now_ms: float) -> None:
+        self._arrivals.append(now_ms)
+        self.total_arrivals += 1
+
+    def on_dispatch(self, now_ms: float, *, replica_index: int, wait_ms: float) -> None:
+        self._waits.append((now_ms, wait_ms))
+        self._in_service_starts[replica_index] = now_ms
+        self.total_dispatches += 1
+
+    def on_completion(
+        self, now_ms: float, *, replica_index: int, service_ms: float
+    ) -> None:
+        start = self._in_service_starts.pop(replica_index, now_ms - service_ms)
+        self._services.append((start, now_ms))
+        self.total_completions += 1
+
+    def on_drop(self, now_ms: float) -> None:
+        self._drops.append(now_ms)
+        self.total_drops += 1
+
+    # ------------------------------------------------------------- snapshot
+    def _prune(self, horizon_ms: float) -> None:
+        for q in (self._arrivals, self._drops):
+            while q and q[0] < horizon_ms:
+                q.popleft()
+        while self._waits and self._waits[0][0] < horizon_ms:
+            self._waits.popleft()
+        while self._services and self._services[0][1] < horizon_ms:
+            self._services.popleft()
+
+    def snapshot(
+        self,
+        now_ms: float,
+        *,
+        num_active: int,
+        num_draining: int = 0,
+        queue_depth: int = 0,
+        capacity_replicas: int | None = None,
+    ) -> MetricsSnapshot:
+        """The windowed metrics as of ``now_ms``.
+
+        ``num_active`` / ``num_draining`` / ``queue_depth`` are instantaneous
+        pool facts only the engine knows; everything else comes from the
+        event feed.  ``capacity_replicas`` is the utilization denominator —
+        the replicas whose busy time can appear in the feed (the engine
+        passes active *plus draining*, since draining replicas still serve
+        their queues); it defaults to ``num_active``.
+        """
+        window = min(self.window_ms, now_ms) if now_ms > 0 else self.window_ms
+        horizon = now_ms - window
+        self._prune(horizon)
+
+        arrivals = len(self._arrivals)
+        drops = len(self._drops)
+        dispatches = len(self._waits)
+        attempted = drops + dispatches
+        drop_rate = drops / attempted if attempted else 0.0
+
+        # Busy time inside the window: closed service intervals clipped to
+        # the window, plus the open interval of anything still in service.
+        busy = 0.0
+        for start, end in self._services:
+            busy += min(end, now_ms) - max(start, horizon)
+        for start in self._in_service_starts.values():
+            busy += now_ms - max(start, horizon)
+        if capacity_replicas is None:
+            capacity_replicas = num_active
+        capacity = window * max(capacity_replicas, 1)
+        utilization = min(1.0, busy / capacity) if capacity > 0 else 0.0
+
+        waits = [w for _, w in self._waits]
+        p95_wait = float(np.percentile(waits, 95)) if waits else 0.0
+        services = [end - start for start, end in self._services]
+        mean_service = float(np.mean(services)) if services else 0.0
+
+        return MetricsSnapshot(
+            time_ms=now_ms,
+            window_ms=window,
+            num_active=num_active,
+            num_draining=num_draining,
+            queue_depth=queue_depth,
+            arrival_rate_per_ms=arrivals / window if window > 0 else 0.0,
+            drop_rate=drop_rate,
+            utilization=utilization,
+            p95_wait_ms=p95_wait,
+            mean_service_ms=mean_service,
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Forget all telemetry (a new simulation run starts)."""
+        self._arrivals.clear()
+        self._drops.clear()
+        self._waits.clear()
+        self._services.clear()
+        self._in_service_starts.clear()
+        self.total_arrivals = 0
+        self.total_dispatches = 0
+        self.total_completions = 0
+        self.total_drops = 0

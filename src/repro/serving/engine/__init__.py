@@ -12,6 +12,12 @@ Layering::
 
     router -> replica queue (discipline + admission) -> replica -> stack
            -> scheduler -> accelerator (+ Persistent Buffer)
+
+An optional autoscaling control plane (:mod:`repro.serving.autoscale`)
+rides on CONTROL events: the engine feeds per-event telemetry, a scaling
+policy resizes the pool every control interval, and replicas are cloned on
+scale-up / drained-then-retired on scale-down, with active-time accounting
+per replica (the replica-seconds cost metric).
 """
 
 from repro.serving.engine.admission import (
@@ -46,6 +52,7 @@ from repro.serving.engine.results import (
     SimulationResult,
 )
 from repro.serving.engine.routing import (
+    FastestExpectedRouter,
     JoinShortestQueueRouter,
     LeastLoadedRouter,
     RoundRobinRouter,
@@ -64,6 +71,7 @@ __all__ = [
     "EventHeap",
     "EventKind",
     "FIFOQueue",
+    "FastestExpectedRouter",
     "JoinShortestQueueRouter",
     "LeastLoadedRouter",
     "PrecomputedServer",

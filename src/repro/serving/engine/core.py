@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.serving.autoscale.controller import AutoscaleController
 from repro.serving.engine.admission import AdmissionPolicy, make_admission
 from repro.serving.engine.disciplines import QueueDiscipline, QueuedQuery
 from repro.serving.engine.events import Event, EventHeap, EventKind
@@ -68,6 +69,17 @@ class ServingEngine:
         cache- and SLO-aware schedulers react to actual queueing state.
         When False the backend sees the nominal constraint (used by the
         legacy precomputed mode).
+    autoscaler:
+        Optional :class:`~repro.serving.autoscale.AutoscaleController`.
+        When set, the engine feeds its telemetry bus per event and fires a
+        CONTROL event every control interval: scale-up appends replicas from
+        the controller's factory, scale-down drains a replica (it finishes
+        its queue, then retires).  ``None`` keeps the pool fixed and the
+        event path bit-identical to the pre-autoscaling engine.
+    scalable_indices:
+        Positions of the replicas the autoscaler may retire (and whose
+        group the factory clones).  ``None`` makes the whole initial pool
+        scalable.  Ignored without an autoscaler.
     """
 
     def __init__(
@@ -77,6 +89,8 @@ class ServingEngine:
         router: str | RoutingPolicy = "round_robin",
         admission: str | AdmissionPolicy = "admit_all",
         dispatch_time_scheduling: bool = True,
+        autoscaler: AutoscaleController | None = None,
+        scalable_indices: Sequence[int] | None = None,
     ) -> None:
         if not replicas:
             raise ValueError("the engine needs at least one replica")
@@ -97,20 +111,74 @@ class ServingEngine:
         self.router = make_router(router)
         self.admission = make_admission(admission)
         self.dispatch_time_scheduling = dispatch_time_scheduling
+        self.autoscaler = autoscaler
+        if autoscaler is not None and autoscaler.replica_factory is None:
+            raise ValueError(
+                "an autoscaled engine needs the controller to carry a "
+                "replica_factory for scale-up"
+            )
+        if scalable_indices is None:
+            self._scalable_indices = tuple(range(len(self.replicas)))
+        else:
+            self._scalable_indices = tuple(scalable_indices)
+            for i in self._scalable_indices:
+                if not (0 <= i < len(self.replicas)):
+                    raise ValueError(
+                        f"scalable index {i} outside the initial pool "
+                        f"[0, {len(self.replicas)})"
+                    )
+        # The initial pool is restored on reset() so repeated runs of an
+        # autoscaled engine start from the spec's replica groups, not from
+        # wherever the previous run's scaling left the pool.
+        self._initial_replicas = list(self.replicas)
+        # Telemetry describes only the scaled group: feeding the bus events
+        # from static groups would inflate utilization/queue signals with
+        # load the policy cannot shed, thrashing the controller.
+        self._scalable_set = set(self._scalable_indices)
         self._needs_estimates = self.router.needs_service_estimates or any(
             r.queue.needs_service_estimates for r in self.replicas
         )
+        self._run_end_ms = 0.0
 
     @property
     def num_replicas(self) -> int:
         return len(self.replicas)
 
+    def _routable(self) -> list[AcceleratorReplica]:
+        """Replicas the router may choose from (everything, if static)."""
+        if self.autoscaler is None:
+            return self.replicas
+        return [r for r in self.replicas if r.is_routable]
+
+    def _scalable_pool(self) -> list[AcceleratorReplica]:
+        """Live members of the autoscaled group (initial + engine-created)."""
+        pool = [
+            self.replicas[i]
+            for i in self._scalable_indices
+            if not self.replicas[i].is_retired
+        ]
+        pool.extend(
+            r
+            for r in self.replicas[len(self._initial_replicas):]
+            if not r.is_retired
+        )
+        return pool
+
     # ------------------------------------------------------------ lifecycle
     def reset(self) -> None:
-        """Fresh replica, router and backend state for a new run."""
+        """Fresh replica, router and backend state for a new run.
+
+        Replicas created by a previous run's scale-ups are discarded; the
+        pool returns to its construction-time composition.
+        """
+        self.replicas = list(self._initial_replicas)
         for replica in self.replicas:
             replica.reset()
         self.router.reset()
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+        self._scalable_set = set(self._scalable_indices)
+        self._run_end_ms = 0.0
 
     # ------------------------------------------------------------- open loop
     def run(
@@ -133,6 +201,10 @@ class ServingEngine:
         heap = EventHeap()
         for query, arrival in zip(trace, arrivals):
             heap.push(Event(float(arrival), EventKind.ARRIVAL, query))
+        if self.autoscaler is not None:
+            heap.push(
+                Event(self.autoscaler.control_interval_ms, EventKind.CONTROL, None)
+            )
         outcomes, dropped = self._drain(heap)
         return self._build_result(
             outcomes, dropped, arrival_rate_per_ms=arrival_rate_per_ms
@@ -204,6 +276,7 @@ class ServingEngine:
             replica.stats.busy_ms += service
             now += service
         replica.busy_until_ms = now
+        self._run_end_ms = now
         return self._build_result(outcomes, [], offered_load=1.0)
 
     # ------------------------------------------------------------ event loop
@@ -212,16 +285,26 @@ class ServingEngine:
     ) -> tuple[list[SimulatedQueryOutcome], list[DroppedQuery]]:
         outcomes: list[SimulatedQueryOutcome] = []
         dropped: list[DroppedQuery] = []
+        bus = None if self.autoscaler is None else self.autoscaler.bus
         seq = 0
         while heap:
             event = heap.pop()
             now = event.time_ms
+            if event.kind != EventKind.CONTROL:
+                # Only data-plane events define the run's duration: a
+                # trailing control tick after the last completion must not
+                # inflate the cost accounting relative to a static run of
+                # the same trace.
+                self._run_end_ms = now
             if event.kind == EventKind.ARRIVAL:
                 query = event.payload
                 item = QueuedQuery(query=query, arrival_ms=now, seq=seq)
                 seq += 1
-                ridx = self.router.select(self.replicas, item, now)
-                replica = self.replicas[ridx]
+                candidates = self._routable()
+                ridx = self.router.select(candidates, item, now)
+                replica = candidates[ridx]
+                if bus is not None and replica.index in self._scalable_set:
+                    bus.on_arrival(now)
                 if self._needs_estimates:
                     # The estimate is replica-specific (it consults the
                     # backend's cache state), so it is attached after routing
@@ -234,13 +317,69 @@ class ServingEngine:
                 replica.enqueue(item)
                 if not replica.is_busy:
                     self._dispatch(replica, now, heap, dropped)
-            else:  # COMPLETION
+            elif event.kind == EventKind.COMPLETION:
                 replica = self.replicas[event.payload]
-                self._complete(replica, outcomes)
+                self._complete(replica, outcomes, now)
                 self._dispatch(replica, now, heap, dropped)
+            else:  # CONTROL
+                self._control(now, heap)
         outcomes.sort(key=lambda o: o.query_index)
         dropped.sort(key=lambda d: d.query_index)
         return outcomes, dropped
+
+    # --------------------------------------------------------- control plane
+    def _control(self, now: float, heap: EventHeap) -> None:
+        """One autoscaler tick: snapshot the pool, enact the policy's delta."""
+        ctl = self.autoscaler
+        pool = self._scalable_pool()
+        active = [r for r in pool if not r.draining]
+        draining = [r for r in pool if r.draining]
+        # All signals describe the scaled group only (matching the event
+        # feed); draining replicas still serve their queues, so they count
+        # toward the utilization capacity but not toward the policy's
+        # notion of the pool size.
+        queue_depth = sum(r.queue_length() for r in pool)
+        snapshot = ctl.bus.snapshot(
+            now,
+            num_active=len(active),
+            num_draining=len(draining),
+            queue_depth=queue_depth,
+            capacity_replicas=len(pool),
+        )
+        desired = ctl.decide(snapshot)
+        if desired > len(active):
+            # Reclaim draining replicas first (their Persistent Buffers are
+            # still warm), newest drain first; then clone fresh replicas.
+            needed = desired - len(active)
+            for replica in reversed(draining):
+                if needed == 0:
+                    break
+                replica.undrain()
+                needed -= 1
+            for _ in range(needed):
+                replica = ctl.make_replica(len(self.replicas))
+                replica.assign_index(len(self.replicas))
+                replica.activated_ms = now
+                self.replicas.append(replica)
+                self._scalable_set.add(replica.index)
+        elif desired < len(active):
+            # Drain from the end of the pool: the newest replicas go first,
+            # keeping the long-lived (warm) ones serving.
+            for replica in reversed(active[desired - len(active):]):
+                replica.start_draining()
+                self._maybe_retire(replica, now)
+        # Keep ticking while the simulation still has work in flight; once
+        # the heap is empty and every queue is drained the run is over and
+        # the control loop stops with it.
+        if heap or any(
+            r.is_busy or len(r.queue) for r in self.replicas if not r.is_retired
+        ):
+            heap.push(Event(now + ctl.control_interval_ms, EventKind.CONTROL, None))
+
+    def _maybe_retire(self, replica: AcceleratorReplica, now: float) -> None:
+        """Retire a draining replica once it is idle with an empty queue."""
+        if replica.draining and not replica.is_busy and not len(replica.queue):
+            replica.retire(now)
 
     def _dispatch(
         self,
@@ -250,12 +389,21 @@ class ServingEngine:
         dropped: list[DroppedQuery],
     ) -> None:
         """Pull the replica's next admissible query and start serving it."""
+        bus = None if self.autoscaler is None else self.autoscaler.bus
+        if bus is not None and replica.index not in self._scalable_set:
+            bus = None  # telemetry covers the scaled group only
         while True:
             item = replica.pop_next()
             if item is None:
+                # A draining replica with nothing left to serve leaves the
+                # pool here — the natural end of its drain.
+                if self.autoscaler is not None:
+                    self._maybe_retire(replica, now)
                 return
             if not self.admission.admit(item, now):
                 dropped.append(self._drop(item, replica, now))
+                if bus is not None:
+                    bus.on_drop(now)
                 continue
             effective: float | None = None
             if self.dispatch_time_scheduling:
@@ -267,11 +415,18 @@ class ServingEngine:
             service = float(record.served_latency_ms)
             replica.in_service = _InService(item=item, start_ms=now, record=record)
             replica.busy_until_ms = now + service
+            if bus is not None:
+                bus.on_dispatch(
+                    now, replica_index=replica.index, wait_ms=now - item.arrival_ms
+                )
             heap.push(Event(now + service, EventKind.COMPLETION, replica.index))
             return
 
     def _complete(
-        self, replica: AcceleratorReplica, outcomes: list[SimulatedQueryOutcome]
+        self,
+        replica: AcceleratorReplica,
+        outcomes: list[SimulatedQueryOutcome],
+        now: float,
     ) -> None:
         current = replica.in_service
         if current is None:  # pragma: no cover - engine invariant
@@ -280,6 +435,10 @@ class ServingEngine:
         if record.replica_index != replica.index:
             record = replace(record, replica_index=replica.index)
         service = float(record.served_latency_ms)
+        if self.autoscaler is not None and replica.index in self._scalable_set:
+            self.autoscaler.bus.on_completion(
+                now, replica_index=replica.index, service_ms=service
+            )
         outcomes.append(
             SimulatedQueryOutcome(
                 query_index=item.query.index,
@@ -318,22 +477,54 @@ class ServingEngine:
         arrival_rate_per_ms: float | None = None,
         offered_load: float | None = None,
     ) -> SimulationResult:
+        makespan = max((o.completion_ms for o in outcomes), default=0.0)
+        duration = max(self._run_end_ms, makespan)
+        # Per-replica provisioned time: live replicas accrue until the last
+        # data-plane event; a retirement decided on a control tick *after*
+        # that is capped at the duration, so autoscaled and static runs of
+        # the same trace are charged over the same clock.
+        for replica in self.replicas:
+            end = duration
+            if replica.is_retired:
+                end = min(replica.retired_at_ms, duration)
+            replica.stats.active_ms = max(0.0, end - replica.activated_ms)
+        mean_active = (
+            sum(r.stats.active_ms for r in self.replicas) / duration
+            if duration > 0
+            else float(self.num_replicas)
+        )
         if offered_load is None:
             if arrival_rate_per_ms is not None and outcomes:
                 mean_service = float(np.mean([o.service_ms for o in outcomes]))
-                offered_load = (
-                    arrival_rate_per_ms * mean_service / self.num_replicas
+                # rho against the capacity actually provisioned: the static
+                # replica count, or the time-weighted mean pool size when
+                # the run was autoscaled.
+                capacity = (
+                    self.num_replicas
+                    if self.autoscaler is None
+                    else max(mean_active, 1e-12)
                 )
+                offered_load = arrival_rate_per_ms * mean_service / capacity
             else:
                 offered_load = 0.0
-        makespan = max((o.completion_ms for o in outcomes), default=0.0)
         throughput = len(outcomes) / makespan if makespan > 0 else 0.0
+        report = (
+            None
+            if self.autoscaler is None
+            else self.autoscaler.report(
+                final_replicas=len(
+                    [r for r in self._scalable_pool() if not r.draining]
+                )
+            )
+        )
         return SimulationResult(
             outcomes=tuple(outcomes),
             offered_load=offered_load,
             dropped=tuple(dropped),
             replica_stats=tuple(r.stats for r in self.replicas),
             achieved_throughput_per_ms=throughput,
+            duration_ms=duration,
+            autoscale=report,
         )
 
 

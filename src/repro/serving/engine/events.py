@@ -1,12 +1,15 @@
 """Discrete-event machinery: the event heap of the serving engine.
 
 The engine advances simulated time through a priority queue of timestamped
-events.  Two event kinds exist: a query *arrival* (it enters the system and
-is routed to a replica's queue) and a replica *completion* (a replica
-finishes its in-service query and pulls the next one).  At equal timestamps
-completions are processed before arrivals so a replica freed at time ``t``
-is visible to routing decisions made at ``t``; remaining ties resolve by
-insertion order, which keeps every run deterministic.
+events.  Three event kinds exist: a query *arrival* (it enters the system
+and is routed to a replica's queue), a replica *completion* (a replica
+finishes its in-service query and pulls the next one), and an autoscaler
+*control* tick (the scaling policy observes the pool and may resize it).
+At equal timestamps completions are processed before arrivals so a replica
+freed at time ``t`` is visible to routing decisions made at ``t``, and
+control ticks run last so the policy sees every data-plane event up to and
+including ``t``; remaining ties resolve by insertion order, which keeps
+every run deterministic.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ class EventKind(enum.IntEnum):
 
     COMPLETION = 0
     ARRIVAL = 1
+    CONTROL = 2
 
 
 @dataclass(frozen=True)
@@ -31,7 +35,8 @@ class Event:
     time_ms: float
     kind: EventKind
     payload: Any
-    """ARRIVAL: the arriving :class:`Query`.  COMPLETION: the replica index."""
+    """ARRIVAL: the arriving :class:`Query`.  COMPLETION: the replica index.
+    CONTROL: unused (None)."""
 
 
 class EventHeap:

@@ -58,6 +58,10 @@ class ReplicaStats:
     num_dropped: int = 0
     busy_ms: float = 0.0
     queueing_ms_total: float = 0.0
+    active_ms: float = 0.0
+    """Provisioned time: activation until retirement (or end of run).  The
+    unit of the replica-seconds cost metric — a replica costs while it
+    exists, busy or idle."""
 
     @property
     def mean_queueing_ms(self) -> float:
@@ -123,6 +127,9 @@ class AcceleratorReplica:
         self.busy_until_ms = 0.0
         self.in_service: _InService | None = None
         self._queued_work_ms = 0.0
+        self.activated_ms = 0.0
+        self.draining = False
+        self.retired_at_ms: float | None = None
         self.stats = ReplicaStats(
             replica_index=-1 if index is None else index, name=self.name
         )
@@ -164,6 +171,33 @@ class AcceleratorReplica:
         remaining = max(0.0, self.busy_until_ms - now_ms) if self.is_busy else 0.0
         return remaining + self._queued_work_ms
 
+    # ------------------------------------------------------- scaling lifecycle
+    @property
+    def is_retired(self) -> bool:
+        return self.retired_at_ms is not None
+
+    @property
+    def is_routable(self) -> bool:
+        """Whether the router may send new arrivals here."""
+        return not self.draining and not self.is_retired
+
+    def start_draining(self) -> None:
+        """Stop accepting arrivals; finish the queue, then retire."""
+        self.draining = True
+
+    def undrain(self) -> None:
+        """Cancel a drain in progress (scale-up reclaims a warm replica)."""
+        if self.is_retired:
+            raise RuntimeError(f"{self.name} is retired and cannot be reactivated")
+        self.draining = False
+
+    def retire(self, now_ms: float) -> None:
+        """Leave the pool for good; accrue the final active time."""
+        if self.is_retired:  # pragma: no cover - engine invariant
+            raise RuntimeError(f"{self.name} is already retired")
+        self.retired_at_ms = now_ms
+        self.stats.active_ms = now_ms - self.activated_ms
+
     # ------------------------------------------------------------ lifecycle
     def reset(self) -> None:
         """Fresh state for a new run (also resets the wrapped server)."""
@@ -171,6 +205,9 @@ class AcceleratorReplica:
         self._queued_work_ms = 0.0
         self.busy_until_ms = 0.0
         self.in_service = None
+        self.activated_ms = 0.0
+        self.draining = False
+        self.retired_at_ms = None
         self.stats = ReplicaStats(
             replica_index=-1 if self.index is None else self.index, name=self.name
         )

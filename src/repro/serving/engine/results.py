@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.metrics import QueryRecord
+from repro.serving.autoscale.controller import AutoscaleReport
 from repro.serving.engine.replica import ReplicaStats
 
 
@@ -88,6 +89,10 @@ class SimulationResult:
     replica_stats: tuple[ReplicaStats, ...] = ()
     achieved_throughput_per_ms: float = 0.0
     """Served queries per ms of makespan (the goodput actually delivered)."""
+    duration_ms: float = 0.0
+    """Simulated run length (time of the last processed event)."""
+    autoscale: AutoscaleReport | None = None
+    """Control-plane summary when the run was autoscaled (None otherwise)."""
 
     @property
     def num_served(self) -> int:
@@ -135,6 +140,30 @@ class SimulationResult:
         if not self.outcomes:
             return 0.0
         return float(np.mean([o.served_accuracy for o in self.outcomes]))
+
+    # ------------------------------------------------------------------ cost
+    @property
+    def total_replica_active_ms(self) -> float:
+        """Summed provisioned time across replicas — the run's capacity cost.
+
+        For a static pool this is ``num_replicas x duration``; under
+        autoscaling each replica accrues only between its activation and
+        retirement, so bursty traffic served by an elastic pool costs less
+        than the static pool sized for its peak.
+        """
+        return float(sum(s.active_ms for s in self.replica_stats))
+
+    @property
+    def replica_seconds(self) -> float:
+        """The cost metric of the SLO-vs-cost frontier, in replica-seconds."""
+        return self.total_replica_active_ms / 1000.0
+
+    @property
+    def mean_active_replicas(self) -> float:
+        """Time-weighted mean pool size over the run."""
+        if self.duration_ms <= 0:
+            return float(len(self.replica_stats))
+        return self.total_replica_active_ms / self.duration_ms
 
     @property
     def records(self) -> tuple[QueryRecord, ...]:

@@ -7,6 +7,12 @@
 * ``least_loaded`` — join the replica with the smallest estimated backlog in
   milliseconds (remaining service plus queued work), which beats JSQ when
   service times are heterogeneous.
+* ``fastest_expected`` — join the replica with the smallest *expected finish
+  time* for this query: backlog plus the query's expected service time on
+  that replica, read from its group's latency table at its current cache
+  state.  The only router that sees that a small-PB replica serves this
+  query slower than a large-PB one, or that a replica's cached SubGraph
+  happens to cover the SubNet the query needs.
 
 All ties resolve to the lowest replica index, keeping runs deterministic.
 """
@@ -94,10 +100,41 @@ class LeastLoadedRouter(RoutingPolicy):
         )
 
 
+class FastestExpectedRouter(RoutingPolicy):
+    """Join the replica expected to *finish* this query soonest.
+
+    The score per replica is its backlog (remaining service plus queued
+    work) plus the arriving query's expected service time there, via the
+    replica's service estimator — for SUSHI backends a lookup in the
+    group's latency table at the replica's current cache state.  This is
+    the latency-table-aware router: on heterogeneous pools it sends tight
+    queries to the tier that can actually serve them fast, and among equals
+    it prefers the replica whose cache already covers the query.
+    """
+
+    name = "fastest_expected"
+    needs_service_estimates = True
+
+    def select(
+        self,
+        replicas: Sequence[AcceleratorReplica],
+        item: QueuedQuery,
+        now_ms: float,
+    ) -> int:
+        def finish_ms(i: int) -> float:
+            replica = replicas[i]
+            return replica.backlog_ms(now_ms) + float(
+                replica.service_estimator(item.query)
+            )
+
+        return min(range(len(replicas)), key=lambda i: (finish_ms(i), i))
+
+
 _ROUTERS = {
     RoundRobinRouter.name: RoundRobinRouter,
     JoinShortestQueueRouter.name: JoinShortestQueueRouter,
     LeastLoadedRouter.name: LeastLoadedRouter,
+    FastestExpectedRouter.name: FastestExpectedRouter,
 }
 
 

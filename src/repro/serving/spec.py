@@ -27,21 +27,27 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.accelerator.platforms import PlatformConfig, platform_by_name
 from repro.core.policies import Policy
+from repro.serving.autoscale.policies import POLICY_NAMES, ScalingPolicy, make_policy
 from repro.serving.workload import PATTERNS, WorkloadSpec
 
 __all__ = [
     "ARRIVAL_KINDS",
     "BACKEND_KINDS",
+    "SCALING_POLICY_NAMES",
     "ArrivalSpec",
+    "AutoscalerSpec",
     "ReplicaGroupSpec",
     "ScenarioSpec",
 ]
+
+#: Scaling policies an :class:`AutoscalerSpec` can name (re-exported).
+SCALING_POLICY_NAMES: tuple[str, ...] = POLICY_NAMES
 
 #: Serving backends a replica group can instantiate (see ``api.build_engine``).
 BACKEND_KINDS: tuple[str, ...] = (
@@ -59,6 +65,29 @@ ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "deterministic", "time_varying")
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ValueError(message)
+
+
+def _apply_override(data: dict[str, Any], path: str, value: Any) -> None:
+    """Set one dotted-path field in a serialized spec dict, in place."""
+    node: Any = data
+    parts = path.split(".")
+    for i, part in enumerate(parts[:-1]):
+        node = node[int(part)] if isinstance(node, list) else node[part]
+        if not isinstance(node, (dict, list)):
+            raise KeyError(
+                f"override path {path!r} descends through scalar "
+                f"{'.'.join(parts[: i + 1])!r}"
+            )
+    leaf = parts[-1]
+    if isinstance(node, list):
+        node[int(leaf)] = value
+    else:
+        if leaf not in node:
+            raise KeyError(
+                f"unknown field {leaf!r} in override path {path!r}; "
+                f"available: {sorted(node)}"
+            )
+        node[leaf] = value
 
 
 def _as_tuple(value: Any) -> Any:
@@ -312,6 +341,148 @@ class ReplicaGroupSpec:
         return cls(**data)
 
 
+@dataclass(frozen=True)
+class AutoscalerSpec:
+    """Declarative autoscaler configuration for a scenario.
+
+    Describes the control plane the engine runs on top of the replica pool:
+    which :mod:`scaling policy <repro.serving.autoscale.policies>` to
+    evaluate, how often, over what telemetry window, within which pool
+    bounds, and which replica group it scales.  Policy-specific knobs are
+    flat fields; only the ones belonging to ``policy`` are consumed (the
+    rest keep their defaults so the JSON form stays stable).
+
+    Attributes
+    ----------
+    policy:
+        ``reactive`` / ``target_utilization`` / ``scheduled``.
+    control_interval_ms:
+        Simulated time between policy evaluations.
+    window_ms:
+        Telemetry sliding window (None: twice the control interval).
+    min_replicas, max_replicas:
+        Hard bounds on the scaled group's active replica count.
+    up_cooldown_ms, down_cooldown_ms:
+        Minimum spacing between scale-ups / scale-downs.
+    group:
+        Name of the :class:`ReplicaGroupSpec` to scale (None: the first
+        group).  Scale-up clones that group's backend (for SUSHI stacks: a
+        fresh scheduler and cold Persistent Buffer sharing the group's
+        latency table); scale-down drains a replica before retiring it.
+    max_drop_rate, max_queue_per_replica, min_utilization,
+    scale_up_step, scale_down_step:
+        ``reactive`` policy thresholds.
+    target_utilization, deadband:
+        ``target_utilization`` policy set-point.
+    schedule, period_ms:
+        ``scheduled`` policy plan: ``(start_ms, replicas)`` entries, with
+        an optional cycle period for diurnal plans.
+    """
+
+    policy: str = "reactive"
+    control_interval_ms: float = 50.0
+    window_ms: float | None = None
+    min_replicas: int = 1
+    max_replicas: int = 8
+    up_cooldown_ms: float = 0.0
+    down_cooldown_ms: float = 0.0
+    group: str | None = None
+    max_drop_rate: float = 0.05
+    max_queue_per_replica: float = 4.0
+    min_utilization: float = 0.40
+    scale_up_step: int = 1
+    scale_down_step: int = 1
+    target_utilization: float = 0.60
+    deadband: float = 0.10
+    schedule: tuple[tuple[float, int], ...] = ()
+    period_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedule", _as_tuple(self.schedule))
+        _require(
+            self.policy in SCALING_POLICY_NAMES,
+            f"unknown scaling policy {self.policy!r}; "
+            f"expected one of {SCALING_POLICY_NAMES}",
+        )
+        _require(
+            self.control_interval_ms > 0, "control_interval_ms must be positive"
+        )
+        if self.window_ms is not None:
+            _require(self.window_ms > 0, "window_ms must be positive")
+        _require(self.min_replicas > 0, "min_replicas must be positive")
+        _require(
+            self.max_replicas >= self.min_replicas,
+            f"max_replicas ({self.max_replicas}) must be >= min_replicas "
+            f"({self.min_replicas})",
+        )
+        _require(
+            self.up_cooldown_ms >= 0 and self.down_cooldown_ms >= 0,
+            "cooldowns must be non-negative",
+        )
+        if self.policy == "scheduled":
+            _require(
+                bool(self.schedule), "scheduled autoscalers need a schedule"
+            )
+        else:
+            _require(
+                not self.schedule,
+                f"{self.policy} autoscalers take no schedule (got {self.schedule})",
+            )
+        # Building the policy validates its knobs at spec time, not at run
+        # time; the instance is discarded.
+        self.build_policy()
+
+    # ------------------------------------------------------------- building
+    def build_policy(self) -> ScalingPolicy:
+        """The configured :class:`ScalingPolicy` instance."""
+        if self.policy == "reactive":
+            return make_policy(
+                "reactive",
+                max_drop_rate=self.max_drop_rate,
+                max_queue_per_replica=self.max_queue_per_replica,
+                min_utilization=self.min_utilization,
+                scale_up_step=self.scale_up_step,
+                scale_down_step=self.scale_down_step,
+            )
+        if self.policy == "target_utilization":
+            return make_policy(
+                "target_utilization",
+                target_utilization=self.target_utilization,
+                deadband=self.deadband,
+            )
+        return make_policy(
+            "scheduled", schedule=self.schedule, period_ms=self.period_ms
+        )
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "control_interval_ms": self.control_interval_ms,
+            "window_ms": self.window_ms,
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
+            "up_cooldown_ms": self.up_cooldown_ms,
+            "down_cooldown_ms": self.down_cooldown_ms,
+            "group": self.group,
+            "max_drop_rate": self.max_drop_rate,
+            "max_queue_per_replica": self.max_queue_per_replica,
+            "min_utilization": self.min_utilization,
+            "scale_up_step": self.scale_up_step,
+            "scale_down_step": self.scale_down_step,
+            "target_utilization": self.target_utilization,
+            "deadband": self.deadband,
+            "schedule": [list(entry) for entry in self.schedule],
+            "period_ms": self.period_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AutoscalerSpec":
+        data = dict(data)
+        data["schedule"] = _as_tuple(data.get("schedule", ()))
+        return cls(**data)
+
+
 def _workload_to_json(spec: WorkloadSpec) -> dict[str, Any]:
     out: dict[str, Any] = {}
     for f in fields(spec):
@@ -354,6 +525,12 @@ class ScenarioSpec:
         of None are resolved at build time from the pool's feasible ranges.
     arrivals:
         Arrival process spec.
+    autoscaler:
+        Optional :class:`AutoscalerSpec`.  ``None`` keeps the pool fixed —
+        the scenario is record-identical to the pre-autoscaling engine
+        path.  When set, the engine runs the control plane over the named
+        replica group: telemetry, policy evaluation every control interval,
+        replica cloning and drain-then-retire.
     num_queries:
         Stream length override (None keeps ``workload.num_queries``).
     dispatch_time_scheduling:
@@ -374,6 +551,7 @@ class ScenarioSpec:
     arrivals: ArrivalSpec = field(
         default_factory=lambda: ArrivalSpec(kind="poisson", rate_per_ms=0.1)
     )
+    autoscaler: AutoscalerSpec | None = None
     num_queries: int | None = None
     dispatch_time_scheduling: bool = True
     seed: int = 0
@@ -386,6 +564,13 @@ class ScenarioSpec:
         _require(self.cache_update_period > 0, "cache_update_period must be positive")
         if self.num_queries is not None:
             _require(self.num_queries > 0, "num_queries must be positive")
+        if self.autoscaler is not None and self.autoscaler.group is not None:
+            names = [g.name for g in self.replica_groups]
+            _require(
+                self.autoscaler.group in names,
+                f"autoscaler.group {self.autoscaler.group!r} names no replica "
+                f"group (groups: {names})",
+            )
 
     # ------------------------------------------------------------- derived
     @property
@@ -407,6 +592,19 @@ class ScenarioSpec:
     def group_seed(self, group: ReplicaGroupSpec) -> int:
         return group.seed if group.seed is not None else self.seed
 
+    def scaled_group(self) -> ReplicaGroupSpec:
+        """The replica group the autoscaler manages (requires an autoscaler)."""
+        if self.autoscaler is None:
+            raise ValueError("the scenario has no autoscaler")
+        if self.autoscaler.group is None:
+            return self.replica_groups[0]
+        for g in self.replica_groups:
+            if g.name == self.autoscaler.group:
+                return g
+        raise ValueError(  # pragma: no cover - __post_init__ guards this
+            f"autoscaler.group {self.autoscaler.group!r} names no replica group"
+        )
+
     # ---------------------------------------------------------- serialization
     def to_dict(self) -> dict[str, Any]:
         """A JSON-safe dict that :meth:`from_dict` inverts exactly."""
@@ -420,6 +618,9 @@ class ScenarioSpec:
             "admission": self.admission,
             "workload": _workload_to_json(self.workload),
             "arrivals": self.arrivals.to_dict(),
+            "autoscaler": (
+                None if self.autoscaler is None else self.autoscaler.to_dict()
+            ),
             "num_queries": self.num_queries,
             "dispatch_time_scheduling": self.dispatch_time_scheduling,
             "seed": self.seed,
@@ -438,6 +639,8 @@ class ScenarioSpec:
             data["workload"] = _workload_from_json(data["workload"])
         if "arrivals" in data:
             data["arrivals"] = ArrivalSpec.from_dict(data["arrivals"])
+        if data.get("autoscaler") is not None:
+            data["autoscaler"] = AutoscalerSpec.from_dict(data["autoscaler"])
         return cls(**data)
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -454,23 +657,20 @@ class ScenarioSpec:
         ``"arrivals.rate_per_ms"``, ``"replica_groups.0.count"``,
         ``"workload.pattern"``, ``"num_queries"``.
         """
+        return self.override_many([(path, value)])
+
+    def override_many(
+        self, overrides: "Sequence[tuple[str, Any]]"
+    ) -> "ScenarioSpec":
+        """A copy with several dotted-path fields replaced *atomically*.
+
+        All overrides are applied to the serialized form before the spec is
+        re-validated once, so interdependent fields can change together —
+        e.g. switching ``autoscaler.policy`` to ``scheduled`` *and* setting
+        ``autoscaler.schedule`` in one step, where either override alone
+        would be rejected.
+        """
         data = self.to_dict()
-        node: Any = data
-        parts = path.split(".")
-        for i, part in enumerate(parts[:-1]):
-            node = node[int(part)] if isinstance(node, list) else node[part]
-            if not isinstance(node, (dict, list)):
-                raise KeyError(
-                    f"override path {path!r} descends through scalar {'.'.join(parts[: i + 1])!r}"
-                )
-        leaf = parts[-1]
-        if isinstance(node, list):
-            node[int(leaf)] = value
-        else:
-            if leaf not in node:
-                raise KeyError(
-                    f"unknown field {leaf!r} in override path {path!r}; "
-                    f"available: {sorted(node)}"
-                )
-            node[leaf] = value
+        for path, value in overrides:
+            _apply_override(data, path, value)
         return type(self).from_dict(data)

@@ -26,8 +26,9 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_seventeen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 17
+    def test_all_eighteen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 18
+        assert "frontier_autoscale" in EXPERIMENTS
 
     def test_get_experiment(self):
         assert get_experiment("fig10").experiment_id == "fig10"

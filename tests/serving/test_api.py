@@ -187,6 +187,17 @@ class TestHeterogeneousPools:
         assert by_name["large-0"].num_served > 0
         assert by_name["small-0"].num_served > 0
 
+    def test_fastest_expected_routing_on_hetero_pool(self, stack_cache):
+        """The latency-table-aware router serves the whole stream and keeps
+        per-replica estimates distinct across PB tiers."""
+        spec = self.hetero_spec()
+        spec = ScenarioSpec.from_dict({**spec.to_dict(), "router": "fastest_expected"})
+        result = run_scenario(spec, stack_cache=stack_cache)
+        assert result.num_offered == 80
+        assert result.num_served > 0
+        served_by = {o.replica_index for o in result.outcomes}
+        assert len(served_by) > 1
+
     def test_time_varying_arrivals_run_end_to_end(self, stack_cache):
         result = run_scenario(
             self.hetero_spec(

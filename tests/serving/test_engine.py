@@ -12,6 +12,7 @@ from repro.serving.engine import (
     EDFQueue,
     EventHeap,
     FIFOQueue,
+    FastestExpectedRouter,
     JoinShortestQueueRouter,
     LeastLoadedRouter,
     PrecomputedServer,
@@ -145,9 +146,44 @@ class TestRouting:
         router = LeastLoadedRouter()
         assert router.select(replicas, queued(2, 0.0, 2), 0.0) == 0
 
+    def test_fastest_expected_prefers_fast_server_when_idle(self):
+        # Equal backlogs: the replica whose estimator predicts the smaller
+        # service time for *this query* wins (its group's latency table).
+        replicas = [
+            AcceleratorReplica(ConstantServer(1.0), index=0,
+                               service_estimator=lambda q: 20.0),
+            AcceleratorReplica(ConstantServer(1.0), index=1,
+                               service_estimator=lambda q: 2.0),
+        ]
+        router = FastestExpectedRouter()
+        assert router.select(replicas, queued(0, 0.0, 0), 0.0) == 1
+
+    def test_fastest_expected_trades_backlog_against_speed(self):
+        # The fast replica is so backlogged that the slow idle one finishes
+        # this query earlier: 30 + 2 > 0 + 20.
+        replicas = [
+            AcceleratorReplica(ConstantServer(1.0), index=0,
+                               service_estimator=lambda q: 20.0),
+            AcceleratorReplica(ConstantServer(1.0), index=1,
+                               service_estimator=lambda q: 2.0),
+        ]
+        replicas[1].enqueue(queued(0, 0.0, 0, estimate=30.0))
+        router = FastestExpectedRouter()
+        assert router.select(replicas, queued(1, 0.0, 1), 0.0) == 0
+
+    def test_fastest_expected_ties_resolve_to_lowest_index(self):
+        replicas = [
+            AcceleratorReplica(ConstantServer(1.0), index=i,
+                               service_estimator=lambda q: 5.0)
+            for i in range(3)
+        ]
+        router = FastestExpectedRouter()
+        assert router.select(replicas, queued(0, 0.0, 0), 0.0) == 0
+
     def test_factory_rejects_unknown(self):
         with pytest.raises(ValueError):
             make_router("random")
+        assert make_router("fastest_expected").name == "fastest_expected"
 
 
 class TestEngineOpenLoop:

@@ -21,6 +21,7 @@ from repro.serving.spec import (
     ARRIVAL_KINDS,
     BACKEND_KINDS,
     ArrivalSpec,
+    AutoscalerSpec,
     ReplicaGroupSpec,
     ScenarioSpec,
 )
@@ -204,6 +205,25 @@ class TestScenarioSpec:
         )
         assert spec.override("workload.pattern", "bursty").workload.pattern == "bursty"
 
+    def test_override_many_is_atomic(self):
+        """Interdependent overrides validate once, after all are applied:
+        switching the scaling policy to ``scheduled`` requires its schedule
+        to land in the same step (either alone is invalid)."""
+        spec = ScenarioSpec(autoscaler=AutoscalerSpec(policy="reactive"))
+        with pytest.raises(ValueError):
+            spec.override("autoscaler.policy", "scheduled")
+        with pytest.raises(ValueError):
+            spec.override("autoscaler.schedule", [[0.0, 1]])
+        switched = spec.override_many(
+            [
+                ("autoscaler.policy", "scheduled"),
+                ("autoscaler.schedule", [[0.0, 1], [50.0, 3]]),
+                ("autoscaler.period_ms", 120.0),
+            ]
+        )
+        assert switched.autoscaler.policy == "scheduled"
+        assert switched.autoscaler.schedule == ((0.0, 1), (50.0, 3))
+
     def test_override_unknown_field_rejected(self):
         with pytest.raises(KeyError):
             ScenarioSpec().override("no_such_field", 1)
@@ -256,6 +276,42 @@ replica_groups = st.builds(
     name=st.one_of(st.none(), st.text(min_size=1, max_size=8)),
 )
 
+autoscaler_specs = st.one_of(
+    st.builds(
+        AutoscalerSpec,
+        policy=st.just("reactive"),
+        control_interval_ms=st.floats(1.0, 100.0),
+        window_ms=st.one_of(st.none(), st.floats(1.0, 200.0)),
+        min_replicas=st.integers(1, 2),
+        max_replicas=st.integers(2, 8),
+        up_cooldown_ms=st.floats(0.0, 50.0),
+        down_cooldown_ms=st.floats(0.0, 50.0),
+        max_drop_rate=st.floats(0.0, 0.5),
+        max_queue_per_replica=st.floats(0.5, 16.0),
+        min_utilization=st.floats(0.0, 1.0),
+        scale_up_step=st.integers(1, 3),
+        scale_down_step=st.integers(1, 3),
+    ),
+    st.builds(
+        AutoscalerSpec,
+        policy=st.just("target_utilization"),
+        control_interval_ms=st.floats(1.0, 100.0),
+        target_utilization=st.floats(0.1, 1.0),
+        deadband=st.floats(0.0, 0.3),
+    ),
+    st.builds(
+        AutoscalerSpec,
+        policy=st.just("scheduled"),
+        control_interval_ms=st.floats(1.0, 100.0),
+        schedule=st.lists(
+            st.tuples(st.floats(0.0, 100.0), st.integers(1, 6)),
+            min_size=1,
+            max_size=4,
+            unique_by=lambda e: e[0],
+        ).map(lambda entries: tuple(sorted(entries))),
+    ),
+)
+
 scenario_specs = st.builds(
     ScenarioSpec,
     name=st.text(min_size=1, max_size=12),
@@ -273,6 +329,7 @@ scenario_specs = st.builds(
         pattern=st.sampled_from(PATTERNS),
     ),
     arrivals=arrival_specs,
+    autoscaler=st.one_of(st.none(), autoscaler_specs),
     num_queries=st.one_of(st.none(), st.integers(1, 500)),
     dispatch_time_scheduling=st.booleans(),
     seed=st.integers(0, 2**16),

@@ -65,6 +65,58 @@ class TestSushiStack:
     def test_pb_capacity_respected(self, stack):
         assert stack.pb.occupancy_bytes <= stack.pb.capacity_bytes
 
+    def test_window_memo_is_bit_identical_to_unmemoized_path(self, stack, trace):
+        """The per-caching-window memo in ``_enact`` must change nothing.
+
+        The reference clone has its memo flushed before every query, forcing
+        the full per-query accelerator evaluation; records *and* PB byte
+        statistics must match the memoized clone exactly.
+        """
+        memoized = stack.clone(seed=7)
+        records_memo = memoized.serve(trace)
+
+        reference = stack.clone(seed=7)
+        records_ref = []
+        for query in trace:
+            reference._window_memo.clear()
+            reference._window_memo_gen = -1
+            records_ref.append(reference.serve_query(query))
+
+        assert records_memo == records_ref
+        for field in (
+            "queries_served",
+            "hit_bytes_total",
+            "served_weight_bytes_total",
+            "cache_loads",
+            "cache_load_bytes_total",
+        ):
+            assert getattr(memoized.pb.stats, field) == getattr(
+                reference.pb.stats, field
+            ), field
+
+    def test_window_memo_reuses_accelerator_evaluations(self, stack, trace):
+        """Within one caching window each distinct SubNet is evaluated once."""
+
+        class CountingAccel:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def subnet_breakdown(self, *args, **kwargs):
+                self.calls += 1
+                return self.inner.subnet_breakdown(*args, **kwargs)
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        clone = stack.clone(seed=7)
+        proxy = CountingAccel(clone.accel)
+        clone.accel = proxy
+        clone.serve(trace)
+        # At most (distinct SubNets per window) evaluations per caching
+        # window — strictly fewer than one per query on this trace.
+        assert 0 < proxy.calls < len(trace)
+
 
 class TestBaselines:
     @pytest.fixture(scope="class")

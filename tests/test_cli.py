@@ -52,6 +52,18 @@ class TestRun:
         assert main(["run", "fig99"]) == 2
         assert "fig99" in capsys.readouterr().err
 
+    def test_json_dump_writes_artifact(self, tmp_path, capsys):
+        out_file = tmp_path / "tab01.json"
+        assert main(["run", "tab01", "--json", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert data  # non-empty, JSON-parseable artifact
+        assert str(out_file) in capsys.readouterr().out
+
+    def test_json_dump_unwritable_path_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "no" / "such" / "dir" / "out.json"
+        assert main(["run", "tab01", "--json", str(bad)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
 
 class TestServe:
     def test_serves_scenario_file(self, scenario_file, capsys):
@@ -137,6 +149,64 @@ class TestServe:
         path = REPO_ROOT / "examples" / "scenarios" / "poisson_pool.json"
         spec = ScenarioSpec.from_json(path.read_text())
         assert spec.arrivals.kind == "poisson"
+
+    def test_checked_in_autoscale_scenario_parses(self):
+        path = REPO_ROOT / "examples" / "scenarios" / "autoscale_pool.json"
+        spec = ScenarioSpec.from_json(path.read_text())
+        assert spec.autoscaler is not None
+        assert spec.autoscaler.policy == "reactive"
+        assert spec.autoscaler.group == "pool"
+        assert spec.arrivals.kind == "time_varying"
+
+    def test_policy_switch_overrides_apply_atomically(self, capsys):
+        # policy=scheduled and its schedule must land together; per-field
+        # validation would reject either one alone.
+        path = REPO_ROOT / "examples" / "scenarios" / "autoscale_pool.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scenario",
+                    str(path),
+                    "--override",
+                    "autoscaler.policy=scheduled",
+                    "--override",
+                    "autoscaler.schedule=[[0,1],[100,3]]",
+                    "--override",
+                    "autoscaler.period_ms=220",
+                    "--dump-spec",
+                ]
+            )
+            == 0
+        )
+        spec = ScenarioSpec.from_json(capsys.readouterr().out)
+        assert spec.autoscaler.policy == "scheduled"
+        assert spec.autoscaler.schedule == ((0, 1), (100, 3))
+
+    def test_autoscaler_override_can_null_the_control_plane(
+        self, scenario_file, capsys
+    ):
+        # The dotted-path override reaches the autoscaler too: nulling it
+        # turns the scenario back into a fixed pool.
+        path = REPO_ROOT / "examples" / "scenarios" / "autoscale_pool.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scenario",
+                    str(path),
+                    "--override",
+                    "autoscaler=null",
+                    "--override",
+                    "workload.num_queries=30",
+                    "--dump-spec",
+                ]
+            )
+            == 0
+        )
+        spec = ScenarioSpec.from_json(capsys.readouterr().out)
+        assert spec.autoscaler is None
+        assert spec.workload.num_queries == 30
 
 
 class TestModuleEntryPoint:
