@@ -100,6 +100,33 @@ class SushiSched:
         self, *, accuracy_constraint: float, latency_constraint_ms: float
     ) -> SchedulerDecision:
         """Make the control decision for the next query in the stream."""
+        return self.schedule_shared(
+            accuracy_constraint=accuracy_constraint,
+            latency_constraint_ms=latency_constraint_ms,
+            batch_size=1,
+        )
+
+    def schedule_shared(
+        self,
+        *,
+        accuracy_constraint: float,
+        latency_constraint_ms: float,
+        batch_size: int = 1,
+    ) -> SchedulerDecision:
+        """One SubNet decision shared by a weight-sharing batch of queries.
+
+        The caller passes the batch's *strictest* constraints (highest
+        accuracy requirement, tightest remaining latency budget); all
+        ``batch_size`` queries are served on the selected SubNet, so every
+        member enters the running average on that SubNet's encoding and the
+        caching window advances by the whole batch.  If the batch crosses a
+        ``cache_update_period`` boundary, exactly **one** caching decision is
+        made — after all the batch's encodings are in the window — so a batch
+        costs at most one cache load.  ``batch_size=1`` is identical to
+        :meth:`schedule`.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         current_cache = self.cache_state_idx
         subnet_idx = select_subnet(
             self.table,
@@ -108,18 +135,26 @@ class SushiSched:
             latency_constraint_ms=latency_constraint_ms,
             cache_state_idx=current_cache,
         )
-        self.avg_net.update(self._subnet_encodings[subnet_idx])
-        self._queries_seen += 1
+        encoding = self._subnet_encodings[subnet_idx]
+        if batch_size == 1:
+            self.avg_net.update(encoding)
+        else:
+            self.avg_net.update_many(
+                np.broadcast_to(encoding, (batch_size, encoding.shape[0]))
+            )
+        seen_before = self._queries_seen
+        self._queries_seen += batch_size
 
         cache_updated = False
         next_cache = current_cache
-        if self._queries_seen % self.cache_update_period == 0:
+        period = self.cache_update_period
+        if self._queries_seen // period > seen_before // period:
             next_cache = self._predict_next_subgraph()
             cache_updated = next_cache != current_cache
             self.cache_state_idx = next_cache
 
         decision = SchedulerDecision(
-            query_index=self._queries_seen - 1,
+            query_index=seen_before,
             subnet_idx=subnet_idx,
             cache_state_idx=current_cache,
             next_cache_state_idx=next_cache,

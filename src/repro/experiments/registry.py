@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from types import ModuleType
 
 from repro.experiments import (
+    batching_sweep,
     fig02_arithmetic_intensity,
     fig10_latency_breakdown,
     fig11_roofline,
@@ -63,6 +64,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "frontier_autoscale",
             "SLO-attainment-vs-cost frontier: autoscaling vs static pools",
             frontier_autoscale,
+        ),
+        Experiment(
+            "batching_sweep",
+            "Throughput/goodput frontier vs dispatch batch size B",
+            batching_sweep,
         ),
         Experiment("tab01", "Buffer bandwidth requirements", tab01_bandwidth),
         Experiment("tab02", "FPGA resource comparison", tab02_resources),

@@ -39,6 +39,7 @@ from repro.serving.autoscale import (
 from repro.serving.spec import (
     ArrivalSpec,
     AutoscalerSpec,
+    BatchingSpec,
     ReplicaGroupSpec,
     ScenarioSpec,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "AutoscaleController",
     "AutoscaleReport",
     "AutoscalerSpec",
+    "BatchingSpec",
     "ReplicaGroupSpec",
     "ScalingEvent",
     "ScenarioSpec",

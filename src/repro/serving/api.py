@@ -262,6 +262,8 @@ def build_engine(
                     make_server(len(replicas)),
                     discipline=group.discipline,
                     name=f"{group.name}-{j}" if group.name else None,
+                    max_batch=group.batching.max_batch,
+                    batch_policy=group.batching.policy,
                 )
             )
     autoscaler = None
@@ -279,6 +281,8 @@ def build_engine(
                 builder(position),
                 discipline=group.discipline,
                 name=f"{group.name}-{position}" if group.name else None,
+                max_batch=group.batching.max_batch,
+                batch_policy=group.batching.policy,
             )
 
         autoscaler = AutoscaleController(
@@ -340,10 +344,13 @@ def format_result_summary(spec: ScenarioSpec, result: SimulationResult) -> str:
             "mean response (ms)": result.mean_response_ms,
             "p99 response (ms)": result.p99_response_ms,
             "throughput (/ms)": result.achieved_throughput_per_ms,
+            "goodput (/ms)": result.goodput_per_ms,
             "mean accuracy (%)": 100.0 * result.mean_accuracy,
             "replica-seconds": result.replica_seconds,
         }
     }
+    if any(g.batching.max_batch > 1 for g in spec.replica_groups):
+        rows["scenario"]["mean batch occupancy"] = result.mean_batch_occupancy
     if result.autoscale is not None:
         rows["autoscaler"] = {
             "policy": result.autoscale.policy,

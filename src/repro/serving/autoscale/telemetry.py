@@ -49,6 +49,11 @@ class MetricsSnapshot:
         95th percentile of the queueing delay of dispatches in the window.
     mean_service_ms:
         Mean service time of completions in the window (0 when none).
+    mean_batch_occupancy:
+        Mean queries per dispatch pickup in the window (0 when the window
+        saw no pickups; 1.0 when the pool runs without batching).  Policies
+        can read scaling headroom off this: occupancy well below the pool's
+        ``max_batch`` means free batch slots absorb load before replicas do.
     """
 
     time_ms: float
@@ -61,6 +66,7 @@ class MetricsSnapshot:
     utilization: float
     p95_wait_ms: float
     mean_service_ms: float
+    mean_batch_occupancy: float = 0.0
 
 
 class TelemetryBus:
@@ -82,11 +88,13 @@ class TelemetryBus:
         self._drops: deque[float] = deque()
         self._waits: deque[tuple[float, float]] = deque()  # (time, wait_ms)
         self._services: deque[tuple[float, float]] = deque()  # (start, end)
+        self._batches: deque[tuple[float, int]] = deque()  # (time, batch size)
         self._in_service_starts: dict[int, float] = {}  # replica idx -> start
         self.total_arrivals = 0
         self.total_dispatches = 0
         self.total_completions = 0
         self.total_drops = 0
+        self.total_batches = 0
 
     # ------------------------------------------------------------ event feed
     def on_arrival(self, now_ms: float) -> None:
@@ -109,6 +117,11 @@ class TelemetryBus:
         self._drops.append(now_ms)
         self.total_drops += 1
 
+    def on_batch(self, now_ms: float, *, batch_size: int) -> None:
+        """One dispatch pickup of ``batch_size`` queries (1 without batching)."""
+        self._batches.append((now_ms, batch_size))
+        self.total_batches += 1
+
     # ------------------------------------------------------------- snapshot
     def _prune(self, horizon_ms: float) -> None:
         for q in (self._arrivals, self._drops):
@@ -116,6 +129,8 @@ class TelemetryBus:
                 q.popleft()
         while self._waits and self._waits[0][0] < horizon_ms:
             self._waits.popleft()
+        while self._batches and self._batches[0][0] < horizon_ms:
+            self._batches.popleft()
         while self._services and self._services[0][1] < horizon_ms:
             self._services.popleft()
 
@@ -163,6 +178,8 @@ class TelemetryBus:
         p95_wait = float(np.percentile(waits, 95)) if waits else 0.0
         services = [end - start for start, end in self._services]
         mean_service = float(np.mean(services)) if services else 0.0
+        batches = [size for _, size in self._batches]
+        mean_occupancy = sum(batches) / len(batches) if batches else 0.0
 
         return MetricsSnapshot(
             time_ms=now_ms,
@@ -175,6 +192,7 @@ class TelemetryBus:
             utilization=utilization,
             p95_wait_ms=p95_wait,
             mean_service_ms=mean_service,
+            mean_batch_occupancy=mean_occupancy,
         )
 
     # ------------------------------------------------------------ lifecycle
@@ -184,8 +202,10 @@ class TelemetryBus:
         self._drops.clear()
         self._waits.clear()
         self._services.clear()
+        self._batches.clear()
         self._in_service_starts.clear()
         self.total_arrivals = 0
         self.total_dispatches = 0
         self.total_completions = 0
         self.total_drops = 0
+        self.total_batches = 0

@@ -65,6 +65,84 @@ class _StaticPolicyServer:
             return int(np.argmin(self.static_latency_ms))
         return int(feasible[int(np.argmax(self.accuracies[feasible]))])
 
+    def _shared_select(
+        self,
+        queries: Sequence[Query],
+        effective_latency_constraints_ms: Sequence[float] | None,
+    ) -> int:
+        """One SubNet for a whole batch: strictest accuracy, tightest budget.
+
+        Static latencies are per query, so the tightest budget is divided by
+        the batch size — a SubNet fitting the scaled budget has a batch
+        evaluation (weights once, the rest per member) fitting the original
+        budget, the conservative SLO-safe direction (mirrors
+        :meth:`~repro.serving.stack.SushiStack.serve_dispatch_batch`).
+        """
+        if not queries:
+            raise ValueError("a dispatch batch needs at least one query")
+        accuracy = max(q.accuracy_constraint for q in queries)
+        if effective_latency_constraints_ms is None:
+            latency = min(q.latency_constraint_ms for q in queries)
+        else:
+            if len(effective_latency_constraints_ms) != len(queries):
+                raise ValueError(
+                    "effective_latency_constraints_ms must match the batch length"
+                )
+            latency = min(effective_latency_constraints_ms)
+        return self._select(accuracy, latency / len(queries))
+
+    @staticmethod
+    def _batch_latency_ms(breakdown, batch_size: int) -> float:
+        """Batch evaluation time: weight traffic once, the rest per member.
+
+        The same amortization model as
+        :meth:`~repro.serving.stack.SushiStack.serve_dispatch_batch`: within a
+        batch the SubNet's weights are fetched and staged once and reused by
+        every member, while compute and activation traffic scale with the
+        batch — batching helps every system, SUSHI additionally amortizes
+        *across* batches via the Persistent Buffer.
+        """
+        components = breakdown.components
+        if batch_size == 1:
+            # Bit-identical to the per-query path: total_ms directly, not
+            # the algebraically equal shared + 1 x (total - shared).
+            return components.total_ms
+        shared_ms = components.offchip_weight_ms + components.onchip_weight_ms
+        return shared_ms + batch_size * (components.total_ms - shared_ms)
+
+    def _batch_records(
+        self,
+        queries: Sequence[Query],
+        subnet: SubNet,
+        breakdown,
+        *,
+        hit_ratio: float = 0.0,
+        cache_load_ms: float = 0.0,
+    ) -> list[QueryRecord]:
+        """Per-member records of one shared batch evaluation.
+
+        Every member reports the batch evaluation time (members complete
+        together); a cache load, if any, rides on the last member — the
+        same record shape the SUSHI stack's batch path produces.
+        """
+        batch_ms = self._batch_latency_ms(breakdown, len(queries))
+        served_accuracy = self.accuracy_model.accuracy(subnet)
+        last = len(queries) - 1
+        return [
+            QueryRecord(
+                query_index=query.index,
+                accuracy_constraint=query.accuracy_constraint,
+                latency_constraint_ms=query.latency_constraint_ms,
+                subnet_name=subnet.name,
+                served_accuracy=served_accuracy,
+                served_latency_ms=batch_ms,
+                cache_hit_ratio=hit_ratio,
+                offchip_energy_mj=breakdown.offchip_energy_mj,
+                cache_load_ms=cache_load_ms if i == last else 0.0,
+            )
+            for i, query in enumerate(queries)
+        ]
+
 
 class NoSushiServer(_StaticPolicyServer):
     """No PB, no SGS-aware scheduler: every query refetches all weights."""
@@ -92,6 +170,19 @@ class NoSushiServer(_StaticPolicyServer):
 
     def serve(self, trace: QueryTrace) -> list[QueryRecord]:
         return [self.serve_query(query) for query in trace]
+
+    def serve_dispatch_batch(
+        self,
+        queries: Sequence[Query],
+        *,
+        effective_latency_constraints_ms: Sequence[float] | None = None,
+    ) -> list[QueryRecord]:
+        """Serve a batch on one shared SubNet (weights fetched once)."""
+        idx = self._shared_select(queries, effective_latency_constraints_ms)
+        subnet = self.subnets[idx]
+        return self._batch_records(
+            queries, subnet, self.accel.subnet_breakdown(subnet, cached=None)
+        )
 
 
 class FixedSubNetServer(_StaticPolicyServer):
@@ -148,6 +239,20 @@ class FixedSubNetServer(_StaticPolicyServer):
 
     def serve(self, trace: QueryTrace) -> list[QueryRecord]:
         return [self.serve_query(query) for query in trace]
+
+    def serve_dispatch_batch(
+        self,
+        queries: Sequence[Query],
+        *,
+        effective_latency_constraints_ms: Sequence[float] | None = None,
+    ) -> list[QueryRecord]:
+        """Serve a batch on the pinned SubNet (weights fetched once)."""
+        if not queries:
+            raise ValueError("a dispatch batch needs at least one query")
+        subnet = self.fixed_subnet
+        return self._batch_records(
+            queries, subnet, self.accel.subnet_breakdown(subnet, cached=None)
+        )
 
 
 class StateUnawareCachingServer(_StaticPolicyServer):
@@ -219,3 +324,44 @@ class StateUnawareCachingServer(_StaticPolicyServer):
     def serve(self, trace: QueryTrace) -> list[QueryRecord]:
         self.begin_stream()
         return [self.serve_query(query) for query in trace]
+
+    def serve_dispatch_batch(
+        self,
+        queries: Sequence[Query],
+        *,
+        effective_latency_constraints_ms: Sequence[float] | None = None,
+    ) -> list[QueryRecord]:
+        """Serve a batch on one shared SubNet; at most one cache reload.
+
+        The caching-period counter advances by the whole batch; if it crosses
+        a period boundary the PB is reloaded once — after the batch — with
+        the truncation of the (shared) served SubNet, mirroring the per-query
+        heuristic.
+        """
+        idx = self._shared_select(queries, effective_latency_constraints_ms)
+        subnet = self.subnets[idx]
+        breakdown = self.accel.subnet_breakdown(subnet, self.pb.cached)
+        hit_ratio = self.pb.vector_hit_ratio(subnet)
+        for _ in queries:
+            self.pb.record_serve(subnet)
+        seen_before = self._queries_seen
+        self._queries_seen += len(queries)
+
+        cache_load_ms = 0.0
+        period = self.cache_update_period
+        if self._queries_seen // period > seen_before // period:
+            subgraph = truncate_to_capacity(
+                CachedSubGraph.from_subnet(subnet),
+                self.pb.capacity_bytes,
+                supernet=self.supernet,
+            )
+            fetched = self.pb.load(subgraph)
+            cache_load_ms = self.accel.cache_load_latency_ms(fetched)
+
+        return self._batch_records(
+            queries,
+            subnet,
+            breakdown,
+            hit_ratio=hit_ratio,
+            cache_load_ms=cache_load_ms,
+        )

@@ -273,6 +273,7 @@ class ServingEngine:
                 )
             )
             replica.stats.num_served += 1
+            replica.stats.num_batches += 1
             replica.stats.busy_ms += service
             now += service
         replica.busy_until_ms = now
@@ -286,38 +287,54 @@ class ServingEngine:
         outcomes: list[SimulatedQueryOutcome] = []
         dropped: list[DroppedQuery] = []
         bus = None if self.autoscaler is None else self.autoscaler.bus
+        # Hot-path hoists: these attribute chains are invariant across the
+        # run, and the loop body runs once per event on 10k+ query traces.
+        router_select = self.router.select
+        needs_estimates = self._needs_estimates
+        scalable = self._scalable_set
+        heap_pop = heap.pop
+        ARRIVAL, COMPLETION, CONTROL = (
+            EventKind.ARRIVAL,
+            EventKind.COMPLETION,
+            EventKind.CONTROL,
+        )
         seq = 0
         while heap:
-            event = heap.pop()
+            event = heap_pop()
             now = event.time_ms
-            if event.kind != EventKind.CONTROL:
+            kind = event.kind
+            if kind != CONTROL:
                 # Only data-plane events define the run's duration: a
                 # trailing control tick after the last completion must not
                 # inflate the cost accounting relative to a static run of
                 # the same trace.
                 self._run_end_ms = now
-            if event.kind == EventKind.ARRIVAL:
+            if kind == ARRIVAL:
                 query = event.payload
                 item = QueuedQuery(query=query, arrival_ms=now, seq=seq)
                 seq += 1
                 candidates = self._routable()
-                ridx = self.router.select(candidates, item, now)
+                ridx = router_select(candidates, item, now)
                 replica = candidates[ridx]
-                if bus is not None and replica.index in self._scalable_set:
+                if bus is not None and replica.index in scalable:
                     bus.on_arrival(now)
-                if self._needs_estimates:
+                if needs_estimates:
                     # The estimate is replica-specific (it consults the
                     # backend's cache state), so it is attached after routing
                     # — and only when a discipline or router will read it,
                     # since it costs a latency-table lookup per arrival.
-                    item = replace(
-                        item,
+                    # Rebuilt directly (not dataclasses.replace): field
+                    # introspection per arrival is measurable on long traces.
+                    item = QueuedQuery(
+                        query=query,
+                        arrival_ms=now,
+                        seq=item.seq,
                         service_estimate_ms=float(replica.service_estimator(query)),
                     )
                 replica.enqueue(item)
-                if not replica.is_busy:
+                if replica.in_service is None:
                     self._dispatch(replica, now, heap, dropped)
-            elif event.kind == EventKind.COMPLETION:
+            elif kind == COMPLETION:
                 replica = self.replicas[event.payload]
                 self._complete(replica, outcomes, now)
                 self._dispatch(replica, now, heap, dropped)
@@ -388,39 +405,133 @@ class ServingEngine:
         heap: EventHeap,
         dropped: list[DroppedQuery],
     ) -> None:
-        """Pull the replica's next admissible query and start serving it."""
+        """Pull the replica's next admissible batch and start serving it.
+
+        With ``max_batch=1`` (the default) this is the pre-batching dispatch:
+        one pop, one admission check, one ``serve_query``, one COMPLETION
+        event — record-identical to the seed path.  With batching, up to
+        ``max_batch`` admissible queries leave the queue in one pickup and
+        are served as a unit (one COMPLETION event per batch): under
+        ``shared_subnet`` the backend makes a single shared SubNet decision
+        and one accelerator evaluation for the whole batch; under
+        ``per_query`` (and for backends without ``serve_dispatch_batch``)
+        members keep their own decisions and run back to back.
+
+        Records are stamped with the replica index *here*, at dispatch, so
+        completion is allocation-free.
+        """
         bus = None if self.autoscaler is None else self.autoscaler.bus
         if bus is not None and replica.index not in self._scalable_set:
             bus = None  # telemetry covers the scaled group only
-        while True:
-            item = replica.pop_next()
-            if item is None:
-                # A draining replica with nothing left to serve leaves the
-                # pool here — the natural end of its drain.
-                if self.autoscaler is not None:
-                    self._maybe_retire(replica, now)
-                return
-            if not self.admission.admit(item, now):
-                dropped.append(self._drop(item, replica, now))
-                if bus is not None:
-                    bus.on_drop(now)
-                continue
-            effective: float | None = None
-            if self.dispatch_time_scheduling:
-                remaining = item.query.latency_constraint_ms - (now - item.arrival_ms)
-                effective = max(remaining, _MIN_EFFECTIVE_LATENCY_MS)
-            record = replica.server.serve_query(
-                item.query, effective_latency_constraint_ms=effective
-            )
-            service = float(record.served_latency_ms)
-            replica.in_service = _InService(item=item, start_ms=now, record=record)
-            replica.busy_until_ms = now + service
+        batch, shed = replica.pop_batch(
+            replica.max_batch, now_ms=now, admission=self.admission
+        )
+        for item in shed:
+            dropped.append(self._drop(item, replica, now))
             if bus is not None:
-                bus.on_dispatch(
-                    now, replica_index=replica.index, wait_ms=now - item.arrival_ms
-                )
-            heap.push(Event(now + service, EventKind.COMPLETION, replica.index))
+                bus.on_drop(now)
+        if not batch:
+            # A draining replica with nothing left to serve leaves the
+            # pool here — the natural end of its drain.
+            if self.autoscaler is not None:
+                self._maybe_retire(replica, now)
             return
+
+        ridx = replica.index
+        dts = self.dispatch_time_scheduling
+        size = len(batch)
+        batch_serve = (
+            getattr(replica.server, "serve_dispatch_batch", None)
+            if size > 1 and replica.batch_policy == "shared_subnet"
+            else None
+        )
+        if batch_serve is None:
+            # One decision and one evaluation per member, back to back in a
+            # single pickup (size == 1 is exactly the seed dispatch).  Each
+            # member's remaining budget and admission are evaluated at its
+            # *actual* start — the prior members' service time has already
+            # eaten into its slack, exactly as the seed loop would see it.
+            serve = replica.server.serve_query
+            admit = self.admission.admit
+            records: list = []
+            started: list = []
+            starts: list[float] = []
+            services: list[float] = []
+            t = now
+            for item in batch:
+                if t > now and not admit(item, t):
+                    # The deadline expired while earlier members ran.
+                    dropped.append(self._drop(item, replica, t))
+                    if bus is not None:
+                        bus.on_drop(t)
+                    continue
+                effective: float | None = None
+                if dts:
+                    remaining = item.query.latency_constraint_ms - (
+                        t - item.arrival_ms
+                    )
+                    effective = (
+                        remaining
+                        if remaining > _MIN_EFFECTIVE_LATENCY_MS
+                        else _MIN_EFFECTIVE_LATENCY_MS
+                    )
+                record = serve(item.query, effective_latency_constraint_ms=effective)
+                if record.replica_index != ridx:
+                    record = replace(record, replica_index=ridx)
+                service = float(record.served_latency_ms)
+                records.append(record)
+                started.append(item)
+                starts.append(t)
+                services.append(service)
+                t += service
+            # The first member is admitted at t == now, so the pickup always
+            # serves at least one query; later members may have been shed.
+            batch = started
+            size = len(batch)
+            # Summed (not t - now) so a one-query batch is bit-identical to
+            # the seed's per-query busy accounting.
+            total = sum(services)
+            completion_ms = t
+        else:
+            # One shared SubNet decision, one accelerator evaluation, at
+            # most one cache load for the whole batch; members complete
+            # together after the batch evaluation.
+            effective_batch: list[float] | None = None
+            if dts:
+                effective_batch = [
+                    max(
+                        item.query.latency_constraint_ms - (now - item.arrival_ms),
+                        _MIN_EFFECTIVE_LATENCY_MS,
+                    )
+                    for item in batch
+                ]
+            records = [
+                r if r.replica_index == ridx else replace(r, replica_index=ridx)
+                for r in batch_serve(
+                    [item.query for item in batch],
+                    effective_latency_constraints_ms=effective_batch,
+                )
+            ]
+            total = max(float(r.served_latency_ms) for r in records)
+            starts = [now] * size
+            services = [total] * size
+            completion_ms = now + total
+
+        replica.in_service = _InService(
+            items=tuple(batch),
+            records=tuple(records),
+            starts=tuple(starts),
+            services=tuple(services),
+            total_ms=total,
+        )
+        replica.busy_until_ms = completion_ms
+        replica.stats.num_batches += 1
+        if bus is not None:
+            bus.on_batch(now, batch_size=size)
+            on_dispatch = bus.on_dispatch
+            for item in batch:
+                on_dispatch(now, replica_index=ridx, wait_ms=now - item.arrival_ms)
+        heap.push(Event(completion_ms, EventKind.COMPLETION, ridx))
 
     def _complete(
         self,
@@ -431,29 +542,37 @@ class ServingEngine:
         current = replica.in_service
         if current is None:  # pragma: no cover - engine invariant
             raise RuntimeError(f"{replica.name} completed with nothing in service")
-        item, record = current.item, current.record
-        if record.replica_index != replica.index:
-            record = replace(record, replica_index=replica.index)
-        service = float(record.served_latency_ms)
-        if self.autoscaler is not None and replica.index in self._scalable_set:
+        ridx = replica.index
+        stats = replica.stats
+        size = current.size
+        if self.autoscaler is not None and ridx in self._scalable_set:
+            # One completion per batch: the bus pairs it with the pickup's
+            # dispatch start, so windowed busy time stays exact.
             self.autoscaler.bus.on_completion(
-                now, replica_index=replica.index, service_ms=service
+                now, replica_index=ridx, service_ms=current.total_ms
             )
-        outcomes.append(
-            SimulatedQueryOutcome(
-                query_index=item.query.index,
-                arrival_ms=item.arrival_ms,
-                start_ms=current.start_ms,
-                service_ms=service,
-                latency_constraint_ms=item.query.latency_constraint_ms,
-                served_accuracy=record.served_accuracy,
-                replica_index=replica.index,
-                record=record,
+        append = outcomes.append
+        for item, record, start, service in zip(
+            current.items, current.records, current.starts, current.services
+        ):
+            # Records were stamped with the replica index at dispatch, so
+            # completion allocates nothing beyond the outcome itself.
+            append(
+                SimulatedQueryOutcome(
+                    query_index=item.query.index,
+                    arrival_ms=item.arrival_ms,
+                    start_ms=start,
+                    service_ms=service,
+                    latency_constraint_ms=item.query.latency_constraint_ms,
+                    served_accuracy=record.served_accuracy,
+                    replica_index=ridx,
+                    record=record,
+                    batch_size=size,
+                )
             )
-        )
-        replica.stats.num_served += 1
-        replica.stats.busy_ms += service
-        replica.stats.queueing_ms_total += current.start_ms - item.arrival_ms
+            stats.queueing_ms_total += start - item.arrival_ms
+        stats.num_served += size
+        stats.busy_ms += current.total_ms
         replica.in_service = None
 
     # -------------------------------------------------------------- helpers
@@ -536,18 +655,27 @@ def build_stack_engine(
     router: str | RoutingPolicy = "round_robin",
     admission: str | AdmissionPolicy = "admit_all",
     dispatch_time_scheduling: bool = True,
+    max_batch: int = 1,
+    batch_policy: str = "shared_subnet",
 ) -> ServingEngine:
     """An engine over ``num_replicas`` independent clones of a SUSHI stack.
 
     Each replica gets its own scheduler and Persistent Buffer state (cloned
     via :meth:`~repro.serving.stack.SushiStack.clone`, sharing the immutable
     SuperNet/table) so replicas evolve their caches independently; the
-    passed stack itself is left untouched.
+    passed stack itself is left untouched.  ``max_batch`` / ``batch_policy``
+    configure batched dispatch per replica (``max_batch=1`` keeps the
+    pre-batching per-query pickup).
     """
     if num_replicas <= 0:
         raise ValueError("num_replicas must be positive")
     replicas = [
-        AcceleratorReplica(stack.clone(seed=stack.config.seed + i), discipline=discipline)
+        AcceleratorReplica(
+            stack.clone(seed=stack.config.seed + i),
+            discipline=discipline,
+            max_batch=max_batch,
+            batch_policy=batch_policy,
+        )
         for i in range(num_replicas)
     ]
     return ServingEngine(

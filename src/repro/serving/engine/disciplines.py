@@ -27,9 +27,13 @@ from dataclasses import dataclass
 from repro.serving.query import Query
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueuedQuery:
-    """A query waiting in a replica queue, with its arrival-time context."""
+    """A query waiting in a replica queue, with its arrival-time context.
+
+    ``slots=True``: one of these is allocated per arrival, so the instance
+    layout sits on the event loop's hot path for long traces.
+    """
 
     query: Query
     arrival_ms: float

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 
@@ -28,9 +28,14 @@ class EventKind(enum.IntEnum):
     CONTROL = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
-    """One timestamped event in the simulation."""
+    """One timestamped event in the simulation.
+
+    ``slots=True`` keeps the event loop's per-query allocations small: one
+    event is created per arrival and per batch completion, so the instance
+    layout is on the hot path for long traces.
+    """
 
     time_ms: float
     kind: EventKind

@@ -56,6 +56,9 @@ class ReplicaStats:
     name: str
     num_served: int = 0
     num_dropped: int = 0
+    num_batches: int = 0
+    """Dispatch pickups: ``num_served / num_batches`` is the replica's mean
+    batch occupancy (1.0 without batching)."""
     busy_ms: float = 0.0
     queueing_ms_total: float = 0.0
     active_ms: float = 0.0
@@ -67,18 +70,43 @@ class ReplicaStats:
     def mean_queueing_ms(self) -> float:
         return self.queueing_ms_total / self.num_served if self.num_served else 0.0
 
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean queries served per dispatch pickup (1.0 without batching)."""
+        return self.num_served / self.num_batches if self.num_batches else 0.0
+
     def utilization(self, makespan_ms: float) -> float:
         """Fraction of the run the replica spent serving."""
         return self.busy_ms / makespan_ms if makespan_ms > 0 else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _InService:
-    """The query a replica is currently serving."""
+    """The batch a replica is currently serving (one query without batching).
 
-    item: QueuedQuery
-    start_ms: float
-    record: QueryRecord
+    Parallel tuples (member ``i`` of the batch is ``items[i]`` / ``records[i]``
+    / ``starts[i]`` / ``services[i]``): under the ``shared_subnet`` batching
+    policy every member starts at the pickup time and spans the whole batch
+    evaluation; under ``per_query`` members run back to back, so their starts
+    are cumulative.  ``slots=True``: one of these lives per in-flight batch.
+    """
+
+    items: tuple[QueuedQuery, ...]
+    records: tuple[QueryRecord, ...]
+    starts: tuple[float, ...]
+    services: tuple[float, ...]
+    total_ms: float
+    """Busy time of the whole pickup (one evaluation under ``shared_subnet``,
+    the members' sum under ``per_query``)."""
+
+    @property
+    def start_ms(self) -> float:
+        """When the batch pickup happened (the first member's start)."""
+        return self.starts[0]
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
 
 
 class AcceleratorReplica:
@@ -102,6 +130,17 @@ class AcceleratorReplica:
         ordering and least-loaded routing.  Defaults to the server's own
         ``estimate_service_ms`` when it has one, else the query's latency
         constraint (a conservative proxy).
+    max_batch:
+        Maximum queries pulled per dispatch pickup.  ``1`` (the default) is
+        the classic one-query-at-a-time dispatch, record-identical to the
+        pre-batching engine.
+    batch_policy:
+        ``shared_subnet`` — the whole batch is served with one shared SubNet
+        decision and one accelerator evaluation (weight traffic amortized;
+        backends need ``serve_dispatch_batch``, others fall back to
+        ``per_query``).  ``per_query`` — members keep their own decisions and
+        run back to back within the pickup (amortizes only the dispatch
+        overhead).
     """
 
     def __init__(
@@ -112,8 +151,19 @@ class AcceleratorReplica:
         index: int | None = None,
         name: str | None = None,
         service_estimator: Callable[[Query], float] | None = None,
+        max_batch: int = 1,
+        batch_policy: str = "shared_subnet",
     ) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if batch_policy not in ("shared_subnet", "per_query"):
+            raise ValueError(
+                f"unknown batch_policy {batch_policy!r}; expected "
+                "'shared_subnet' or 'per_query'"
+            )
         self.server = server
+        self.max_batch = max_batch
+        self.batch_policy = batch_policy
         self.queue = make_discipline(discipline)
         self.index = index
         self._explicit_name = name
@@ -157,14 +207,41 @@ class AcceleratorReplica:
             self._queued_work_ms -= item.service_estimate_ms
         return item
 
+    def pop_batch(
+        self, max_batch: int, *, now_ms: float, admission
+    ) -> tuple[list[QueuedQuery], list[QueuedQuery]]:
+        """Pull up to ``max_batch`` admissible queries for one dispatch pickup.
+
+        Queries leave the queue in discipline order; each is checked against
+        the admission policy at pop time (only then is its actual wait
+        known).  Returns ``(admitted, shed)`` — shed queries were popped but
+        refused service (their deadline expired), exactly as the one-at-a-time
+        dispatch loop would have shed them.  ``max_batch=1`` reproduces the
+        pre-batching pop-admit-serve sequence.
+        """
+        admitted: list[QueuedQuery] = []
+        shed: list[QueuedQuery] = []
+        admit = admission.admit
+        pop = self.pop_next
+        while len(admitted) < max_batch:
+            item = pop()
+            if item is None:
+                break
+            if admit(item, now_ms):
+                admitted.append(item)
+            else:
+                shed.append(item)
+        return admitted, shed
+
     # ------------------------------------------------------------ load view
     @property
     def is_busy(self) -> bool:
         return self.in_service is not None
 
     def queue_length(self) -> int:
-        """Waiting queries plus the in-service one (what JSQ compares)."""
-        return len(self.queue) + (1 if self.in_service is not None else 0)
+        """Waiting queries plus the in-service batch (what JSQ compares)."""
+        current = self.in_service
+        return len(self.queue) + (current.size if current is not None else 0)
 
     def backlog_ms(self, now_ms: float) -> float:
         """Estimated work in the system: remaining service plus queued work."""

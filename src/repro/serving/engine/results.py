@@ -31,6 +31,9 @@ class SimulatedQueryOutcome:
     replica_index: int = 0
     record: QueryRecord | None = None
     """The full serving record, when the backend produced one."""
+    batch_size: int = 1
+    """Size of the dispatch pickup this query was served in (1 when the
+    engine runs without batching)."""
 
     @property
     def completion_ms(self) -> float:
@@ -134,6 +137,29 @@ class SimulationResult:
         if not self.outcomes:
             return 0.0
         return float(np.mean([o.queueing_ms for o in self.outcomes]))
+
+    @property
+    def goodput_per_ms(self) -> float:
+        """Queries served *within their SLO* per ms of run — what batched
+        dispatch trades per-query latency for."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return sum(o.meets_slo for o in self.outcomes) / self.duration_ms
+
+    @property
+    def num_batches(self) -> int:
+        """Dispatch pickups across the run (each served 1..B queries)."""
+        # Each pickup of size b contributes b outcomes of batch_size b, so
+        # the 1/b shares sum back to one per pickup.
+        if not self.outcomes:
+            return 0
+        return round(sum(1.0 / o.batch_size for o in self.outcomes))
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean queries served per dispatch pickup (1.0 without batching)."""
+        batches = self.num_batches
+        return self.num_served / batches if batches else 0.0
 
     @property
     def mean_accuracy(self) -> float:

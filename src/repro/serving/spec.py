@@ -39,9 +39,11 @@ from repro.serving.workload import PATTERNS, WorkloadSpec
 __all__ = [
     "ARRIVAL_KINDS",
     "BACKEND_KINDS",
+    "BATCHING_POLICIES",
     "SCALING_POLICY_NAMES",
     "ArrivalSpec",
     "AutoscalerSpec",
+    "BatchingSpec",
     "ReplicaGroupSpec",
     "ScenarioSpec",
 ]
@@ -60,6 +62,12 @@ BACKEND_KINDS: tuple[str, ...] = (
 
 #: Supported arrival processes.
 ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "deterministic", "time_varying")
+
+#: Batched-dispatch policies a replica group can run under.
+BATCHING_POLICIES: tuple[str, ...] = (
+    "shared_subnet",  # one shared SubNet decision + one evaluation per batch
+    "per_query",  # per-member decisions, served back to back in one pickup
+)
 
 
 def _require(condition: bool, message: str) -> None:
@@ -226,6 +234,50 @@ class ArrivalSpec:
         return cls(**data)
 
 
+@dataclass(frozen=True)
+class BatchingSpec:
+    """Batched dispatch configuration of a replica group.
+
+    Attributes
+    ----------
+    max_batch:
+        Maximum queries a replica pulls per dispatch pickup.  ``1`` (the
+        default) disables batching and is record-identical to the
+        pre-batching engine path.
+    policy:
+        ``shared_subnet`` — queries co-scheduled in a pickup share one
+        SubNet decision (strictest accuracy constraint, tightest remaining
+        latency budget) and one accelerator evaluation, amortizing the
+        SubNet's weight traffic and at most one cache load across the batch
+        — the amortization SGS weight sharing enables.  ``per_query`` —
+        members keep their own decisions and run back to back within the
+        pickup (amortizes only the dispatch overhead; the fair non-sharing
+        comparison point).
+    """
+
+    max_batch: int = 1
+    policy: str = "shared_subnet"
+
+    def __post_init__(self) -> None:
+        _require(
+            self.max_batch >= 1,
+            f"max_batch must be >= 1, got {self.max_batch}",
+        )
+        _require(
+            self.policy in BATCHING_POLICIES,
+            f"unknown batching policy {self.policy!r}; "
+            f"expected one of {BATCHING_POLICIES}",
+        )
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {"max_batch": self.max_batch, "policy": self.policy}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BatchingSpec":
+        return cls(**dict(data))
+
+
 def _platform_to_json(platform: str | PlatformConfig) -> str | dict[str, Any]:
     if isinstance(platform, str):
         return platform
@@ -260,6 +312,9 @@ class ReplicaGroupSpec:
     discipline:
         Queue discipline of every replica in the group
         (``fifo`` / ``edf`` / ``priority_by_slack``).
+    batching:
+        Batched-dispatch configuration (:class:`BatchingSpec`).  The default
+        ``max_batch=1`` keeps the classic one-query-at-a-time pickup.
     subnet_name:
         For ``static_subnet`` backends: which SubNet to pin (None pins the
         most accurate one).
@@ -277,10 +332,17 @@ class ReplicaGroupSpec:
     candidate_set_size: int | None = None
     seed: int | None = None
     discipline: str = "fifo"
+    batching: BatchingSpec = field(default_factory=BatchingSpec)
     subnet_name: str | None = None
     name: str | None = None
 
     def __post_init__(self) -> None:
+        if self.batching is None:
+            # ``"batching": null`` in JSON means "no batching", mirroring
+            # the nullable autoscaler field.
+            object.__setattr__(self, "batching", BatchingSpec())
+        elif isinstance(self.batching, Mapping):
+            object.__setattr__(self, "batching", BatchingSpec.from_dict(self.batching))
         _require(self.count > 0, f"replica count must be positive, got {self.count}")
         _require(
             self.kind in BACKEND_KINDS,
@@ -327,6 +389,7 @@ class ReplicaGroupSpec:
             "candidate_set_size": self.candidate_set_size,
             "seed": self.seed,
             "discipline": self.discipline,
+            "batching": self.batching.to_dict(),
             "subnet_name": self.subnet_name,
             "name": self.name,
         }
@@ -338,6 +401,10 @@ class ReplicaGroupSpec:
             data["platform"] = _platform_from_json(data["platform"])
         if data.get("policy") is not None:
             data["policy"] = Policy(data["policy"])
+        if data.get("batching") is not None:
+            data["batching"] = BatchingSpec.from_dict(data["batching"])
+        else:
+            data.pop("batching", None)
         return cls(**data)
 
 

@@ -122,21 +122,26 @@ class SushiStack:
         fetched = self.pb.load(subgraph)
         return self.accel.cache_load_latency_ms(fetched)
 
-    def _enact(self, query: Query, decision: SchedulerDecision) -> QueryRecord:
-        """Serve one scheduled query on the accelerator and enact caching."""
-        subnet = self.subnets[decision.subnet_idx]
+    def _window_breakdown(self, subnet_idx: int) -> tuple:
+        """Memoized (breakdown, hit ratio, hit bytes) at the current PB state."""
         if self.pb.generation != self._window_memo_gen:
             self._window_memo.clear()
             self._window_memo_gen = self.pb.generation
-        memo = self._window_memo.get(decision.subnet_idx)
+        memo = self._window_memo.get(subnet_idx)
         if memo is None:
+            subnet = self.subnets[subnet_idx]
             memo = (
                 self.accel.subnet_breakdown(subnet, self.pb.cached),
                 self.pb.vector_hit_ratio(subnet),
                 self.pb.hit_bytes(subnet),
             )
-            self._window_memo[decision.subnet_idx] = memo
-        breakdown, hit_ratio, hit_bytes = memo
+            self._window_memo[subnet_idx] = memo
+        return memo
+
+    def _enact(self, query: Query, decision: SchedulerDecision) -> QueryRecord:
+        """Serve one scheduled query on the accelerator and enact caching."""
+        subnet = self.subnets[decision.subnet_idx]
+        breakdown, hit_ratio, hit_bytes = self._window_breakdown(decision.subnet_idx)
         self.pb.record_serve(subnet, hit_bytes=hit_bytes)
 
         cache_load_ms = 0.0
@@ -175,6 +180,86 @@ class SushiStack:
             ),
         )
         return self._enact(query, decision)
+
+    def serve_dispatch_batch(
+        self,
+        queries: Sequence[Query],
+        *,
+        effective_latency_constraints_ms: Sequence[float] | None = None,
+    ) -> list[QueryRecord]:
+        """Serve a weight-sharing batch with one shared SubNet decision.
+
+        The scheduler makes a *single* decision satisfying the batch's
+        strictest accuracy constraint and its tightest remaining latency
+        budget; the whole batch then runs as one accelerator evaluation: the
+        SubNet's weight traffic (off-chip fetch + on-chip staging) is paid
+        once and reused by every member — exactly the amortization SGS weight
+        sharing enables — while compute and activation traffic scale with the
+        batch.  Every returned record reports the *batch* evaluation latency
+        (members complete together), and at most one cache load is enacted,
+        carried by the last member's record.  A one-query batch is identical
+        to :meth:`serve_query`.
+
+        Because the latency table stores *single-query* latencies, the shared
+        decision plans against the tightest budget divided by the batch size:
+        a SubNet whose table latency fits that scaled budget has a batch
+        evaluation (weights counted once, not per member) that fits the
+        original budget — the conservative, SLO-safe direction.
+
+        Energy is recorded per evaluation as in the per-query path; off-chip
+        weight-energy amortization across the batch is not modeled, so
+        batched energy totals are conservative (over-) estimates.
+        """
+        if not queries:
+            raise ValueError("a dispatch batch needs at least one query")
+        accuracy = max(q.accuracy_constraint for q in queries)
+        if effective_latency_constraints_ms is None:
+            latency = min(q.latency_constraint_ms for q in queries)
+        else:
+            if len(effective_latency_constraints_ms) != len(queries):
+                raise ValueError(
+                    "effective_latency_constraints_ms must match the batch length"
+                )
+            latency = min(effective_latency_constraints_ms)
+        decision = self.scheduler.schedule_shared(
+            accuracy_constraint=accuracy,
+            latency_constraint_ms=latency / len(queries),
+            batch_size=len(queries),
+        )
+
+        subnet = self.subnets[decision.subnet_idx]
+        breakdown, hit_ratio, hit_bytes = self._window_breakdown(decision.subnet_idx)
+        for _ in queries:
+            self.pb.record_serve(subnet, hit_bytes=hit_bytes)
+        components = breakdown.components
+        if len(queries) == 1:
+            # Bit-identical to serve_query: total_ms directly, not the
+            # algebraically equal shared + 1 x (total - shared).
+            batch_ms = components.total_ms
+        else:
+            shared_ms = components.offchip_weight_ms + components.onchip_weight_ms
+            batch_ms = shared_ms + len(queries) * (components.total_ms - shared_ms)
+
+        cache_load_ms = 0.0
+        if decision.cache_updated:
+            cache_load_ms = self._enact_cache(decision.next_cache_state_idx)
+
+        served_accuracy = self.accuracy_model.accuracy(subnet)
+        last = len(queries) - 1
+        return [
+            QueryRecord(
+                query_index=query.index,
+                accuracy_constraint=query.accuracy_constraint,
+                latency_constraint_ms=query.latency_constraint_ms,
+                subnet_name=subnet.name,
+                served_accuracy=served_accuracy,
+                served_latency_ms=batch_ms,
+                cache_hit_ratio=hit_ratio,
+                offchip_energy_mj=breakdown.offchip_energy_mj,
+                cache_load_ms=cache_load_ms if i == last else 0.0,
+            )
+            for i, query in enumerate(queries)
+        ]
 
     def serve(self, trace: QueryTrace) -> list[QueryRecord]:
         """Serve a query stream end to end; returns per-query records.

@@ -26,9 +26,10 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_eighteen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 18
+    def test_all_nineteen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 19
         assert "frontier_autoscale" in EXPERIMENTS
+        assert "batching_sweep" in EXPERIMENTS
 
     def test_get_experiment(self):
         assert get_experiment("fig10").experiment_id == "fig10"
