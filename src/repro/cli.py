@@ -1,6 +1,6 @@
 """``repro`` command line: list/run experiments, serve declarative scenarios.
 
-Three subcommands make every artifact in the experiment registry and every
+Four subcommands make every artifact in the experiment registry and every
 serving scenario reproducible from one command line::
 
     python -m repro list
@@ -8,6 +8,7 @@ serving scenario reproducible from one command line::
     python -m repro run frontier_autoscale --json frontier.json
     python -m repro serve --scenario examples/scenarios/hetero_pool.json \
         --override arrivals.seed=7 --override replica_groups.0.count=4
+    python -m repro schema
 
 ``serve`` loads a :class:`~repro.serving.spec.ScenarioSpec` from JSON,
 applies any ``--override key=value`` pairs (dotted paths into the serialized
@@ -16,7 +17,10 @@ result summary.  ``--dump-spec`` echoes the effective spec after overrides,
 so a tweaked scenario can be piped back into a file.  ``run --json FILE``
 additionally dumps the experiment result as JSON (drivers may provide a
 curated ``to_jsonable``; anything else is converted field by field) — CI
-uploads these as workflow artifacts.
+uploads these as workflow artifacts.  ``schema`` prints the scenario JSON
+reference — every field's default and every closed enum — straight from the
+dataclasses (:func:`repro.serving.spec.scenario_schema`), so it can never
+drift from the code; the prose companion is ``docs/scenario-schema.md``.
 """
 
 from __future__ import annotations
@@ -122,6 +126,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schema(args: argparse.Namespace) -> int:
+    from repro.serving.spec import scenario_schema
+
+    print(json.dumps(scenario_schema(), indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the effective spec JSON (after overrides) and exit",
     )
     serve_p.set_defaults(func=_cmd_serve)
+
+    schema_p = sub.add_parser(
+        "schema",
+        help="print the scenario JSON schema (field defaults and enums)",
+    )
+    schema_p.set_defaults(func=_cmd_schema)
     return parser
 
 

@@ -23,6 +23,7 @@ cost) are starred in the report.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import asdict, dataclass
 
 from repro.analysis.reporting import format_table
@@ -51,6 +52,15 @@ class FrontierPoint:
     peak_replicas: int
     drop_rate: float
     mean_accuracy: float
+    startup_delay_ms: float = 0.0
+    """Cold-start delay of the scaled group (0: instant scale-up)."""
+    weighted_replica_seconds: float = 0.0
+    """Cost weighted by each replica's tier price (== replica_seconds for
+    homogeneous weight-1.0 pools)."""
+    group_costs: tuple[tuple[str, float, float], ...] = ()
+    """Per replica group: (label, cost_weight, replica_seconds consumed) —
+    kept in the JSON artifact so frontiers stay comparable across PRs as
+    pools grow heterogeneous."""
 
 
 @dataclass(frozen=True)
@@ -94,6 +104,32 @@ class FrontierResult:
             if not dominated:
                 out.append(p)
         return tuple(sorted(out, key=lambda p: p.replica_seconds))
+
+
+def group_costs(spec, result) -> tuple[tuple[str, float, float], ...]:
+    """Per replica group: (label, cost_weight, replica-seconds consumed).
+
+    Replicas are attributed to groups by name (the facade names a group's
+    replicas ``{name}-{i}`` with an integer position, matched exactly so
+    a group named ``pool`` never absorbs ``pool-b``'s replicas); an
+    unnamed group in a single-group scenario owns the whole pool.
+    """
+    out = []
+    for gidx, group in enumerate(spec.replica_groups):
+        label = group.name or f"group{gidx}"
+        if group.name is not None:
+            member = re.compile(re.escape(group.name) + r"-\d+\Z")
+            cost_ms = sum(
+                s.active_ms
+                for s in result.replica_stats
+                if member.match(s.name)
+            )
+        elif len(spec.replica_groups) == 1:
+            cost_ms = result.total_replica_active_ms
+        else:  # pragma: no cover - unnamed groups in multi-group scenarios
+            cost_ms = float("nan")
+        out.append((label, group.cost_weight, cost_ms / 1000.0))
+    return tuple(out)
 
 
 def diurnal_flash_segments(
@@ -140,6 +176,7 @@ def _scenario(
                 candidate_set_size=stack.config.candidate_set_size,
                 seed=stack.config.seed,
                 discipline="edf",
+                name="pool",
             ),
         ),
         router="jsq",
@@ -288,6 +325,13 @@ def run(
                 ),
                 drop_rate=result.drop_rate,
                 mean_accuracy=result.mean_accuracy,
+                startup_delay_ms=(
+                    0.0
+                    if spec.autoscaler is None
+                    else max(g.startup_delay_ms for g in spec.scaled_groups())
+                ),
+                weighted_replica_seconds=result.weighted_replica_seconds,
+                group_costs=group_costs(spec, result),
             )
         )
     return FrontierResult(

@@ -17,6 +17,7 @@ from repro.experiments import (
     fig16_end_to_end,
     fig17_18_temporal,
     frontier_autoscale,
+    frontier_predictive,
     headline,
     load_sweep,
     tab01_bandwidth,
@@ -64,6 +65,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "frontier_autoscale",
             "SLO-attainment-vs-cost frontier: autoscaling vs static pools",
             frontier_autoscale,
+        ),
+        Experiment(
+            "frontier_predictive",
+            "Predictive vs reactive autoscaling under cold-start delay",
+            frontier_predictive,
         ),
         Experiment(
             "batching_sweep",

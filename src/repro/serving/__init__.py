@@ -33,6 +33,7 @@ from repro.serving.simulator import OpenLoopSimulator
 from repro.serving.autoscale import (
     AutoscaleController,
     AutoscaleReport,
+    ScaledGroup,
     ScalingEvent,
     TelemetryBus,
 )
@@ -42,6 +43,7 @@ from repro.serving.spec import (
     BatchingSpec,
     ReplicaGroupSpec,
     ScenarioSpec,
+    scenario_schema,
 )
 from repro.serving.api import (
     build_engine,
@@ -74,6 +76,7 @@ __all__ = [
     "AutoscalerSpec",
     "BatchingSpec",
     "ReplicaGroupSpec",
+    "ScaledGroup",
     "ScalingEvent",
     "ScenarioSpec",
     "TelemetryBus",
@@ -81,4 +84,5 @@ __all__ = [
     "build_trace",
     "format_result_summary",
     "run_scenario",
+    "scenario_schema",
 ]

@@ -37,7 +37,7 @@ from typing import Callable
 
 from repro.accelerator.analytic_model import SushiAccelModel
 from repro.accelerator.platforms import PlatformConfig
-from repro.serving.autoscale import AutoscaleController
+from repro.serving.autoscale import AutoscaleController, ScaledGroup
 from repro.serving.baselines import (
     FixedSubNetServer,
     NoSushiServer,
@@ -245,15 +245,15 @@ def build_engine(
     """
     if stack_cache is None:
         stack_cache = {}
-    scaled = spec.scaled_group() if spec.autoscaler is not None else None
-    scaled_builder = None
-    scaled_positions: list[int] = []
+    scaled = spec.scaled_groups() if spec.autoscaler is not None else ()
+    scaled_builders: dict[str | None, Callable[[int], QueryServer]] = {}
+    scaled_positions: dict[str | None, list[int]] = {}
     replicas: list[AcceleratorReplica] = []
     for group in spec.replica_groups:
         make_server = _server_builder(spec, group, stack_cache, trace)
-        if group is scaled:
-            scaled_builder = make_server
-            scaled_positions = list(
+        if any(g is group for g in scaled):
+            scaled_builders[group.name] = make_server
+            scaled_positions[group.name] = list(
                 range(len(replicas), len(replicas) + group.count)
             )
         for j in range(group.count):
@@ -264,38 +264,56 @@ def build_engine(
                     name=f"{group.name}-{j}" if group.name else None,
                     max_batch=group.batching.max_batch,
                     batch_policy=group.batching.policy,
+                    cost_weight=group.cost_weight,
                 )
             )
     autoscaler = None
     scalable_indices = None
     if spec.autoscaler is not None:
         a = spec.autoscaler
-        group, builder = scaled, scaled_builder
 
-        def factory(position: int) -> AcceleratorReplica:
-            # Scale-up replica at engine-global index ``position``: the same
-            # backend construction as the group's build-time replicas (SUSHI
-            # groups clone the template stack — cold PB, shared table, seed
-            # decorrelated by position), named after the group.
-            return AcceleratorReplica(
-                builder(position),
-                discipline=group.discipline,
-                name=f"{group.name}-{position}" if group.name else None,
-                max_batch=group.batching.max_batch,
-                batch_policy=group.batching.policy,
-            )
+        def make_factory(
+            group: ReplicaGroupSpec, builder: Callable[[int], QueryServer]
+        ) -> Callable[[int], AcceleratorReplica]:
+            def factory(position: int) -> AcceleratorReplica:
+                # Scale-up replica at engine-global index ``position``: the
+                # same backend construction as the group's build-time
+                # replicas (SUSHI groups clone the template stack — cold PB,
+                # shared table, seed decorrelated by position), named after
+                # the group.
+                return AcceleratorReplica(
+                    builder(position),
+                    discipline=group.discipline,
+                    name=f"{group.name}-{position}" if group.name else None,
+                    max_batch=group.batching.max_batch,
+                    batch_policy=group.batching.policy,
+                    cost_weight=group.cost_weight,
+                )
+
+            return factory
 
         autoscaler = AutoscaleController(
             a.build_policy(),
             control_interval_ms=a.control_interval_ms,
             window_ms=a.window_ms,
-            min_replicas=a.min_replicas,
-            max_replicas=a.max_replicas,
             up_cooldown_ms=a.up_cooldown_ms,
             down_cooldown_ms=a.down_cooldown_ms,
-            replica_factory=factory,
+            cost_budget=a.cost_budget,
+            groups=tuple(
+                ScaledGroup(
+                    name=group.name,
+                    cost_weight=group.cost_weight,
+                    startup_delay_ms=group.startup_delay_ms,
+                    min_replicas=a.min_replicas,
+                    max_replicas=a.max_replicas,
+                    replica_factory=make_factory(
+                        group, scaled_builders[group.name]
+                    ),
+                )
+                for group in scaled
+            ),
         )
-        scalable_indices = scaled_positions
+        scalable_indices = dict(scaled_positions)
     return ServingEngine(
         replicas,
         router=spec.router,
@@ -351,6 +369,10 @@ def format_result_summary(spec: ScenarioSpec, result: SimulationResult) -> str:
     }
     if any(g.batching.max_batch > 1 for g in spec.replica_groups):
         rows["scenario"]["mean batch occupancy"] = result.mean_batch_occupancy
+    if any(g.cost_weight != 1.0 for g in spec.replica_groups):
+        rows["scenario"]["weighted replica-seconds"] = (
+            result.weighted_replica_seconds
+        )
     if result.autoscale is not None:
         rows["autoscaler"] = {
             "policy": result.autoscale.policy,
@@ -360,6 +382,8 @@ def format_result_summary(spec: ScenarioSpec, result: SimulationResult) -> str:
             "peak replicas": result.autoscale.peak_replicas,
             "mean replicas": result.mean_active_replicas,
         }
+        if result.autoscale.cost_budget is not None:
+            rows["autoscaler"]["cost budget"] = result.autoscale.cost_budget
     makespan = max((o.completion_ms for o in result.outcomes), default=0.0)
     for stats in result.replica_stats:
         # Utilization over the replica's own provisioned time, not the

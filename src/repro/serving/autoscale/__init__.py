@@ -5,33 +5,45 @@ Three layers, mirroring a production autoscaler:
 * **Telemetry** (:mod:`.telemetry`) — the engine feeds a
   :class:`TelemetryBus` per event; policies read sliding-window
   :class:`MetricsSnapshot`\\ s (queue depth, drop rate, utilization,
-  p95 wait).
+  p95 wait, arrival-rate trend).
 * **Policies** (:mod:`.policies`) — pluggable desired-size functions:
   ``reactive`` thresholds, ``target_utilization`` proportional control,
-  and a ``scheduled`` oracle plan.
+  ``predictive`` short-horizon forecast control (extrapolates the rate
+  trend over the provisioning delay), a ``scheduled`` oracle plan, and
+  ``tier_aware`` multi-group scaling (grow the cheapest tier that fits the
+  cost budget, shed the most expensive first).
 * **Controller** (:mod:`.controller`) — evaluates the policy every control
-  interval, clamps to ``[min, max]``, enforces cooldowns, and logs
-  :class:`ScalingEvent`\\ s into an :class:`AutoscaleReport`.
+  interval over one or more :class:`ScaledGroup`\\ s, clamps each group to
+  ``[min, max]``, enforces the pool-wide cost budget and cooldowns, and
+  logs :class:`ScalingEvent`\\ s into an :class:`AutoscaleReport`.
 
 The engine enacts decisions: scale-up clones the replica group's SUSHI
-stack (cold Persistent Buffer, shared latency table); scale-down drains a
-replica before retiring it.  Per-replica active-time accounting turns the
-lifecycle into a replica-seconds *cost* metric, making the
-SLO-attainment-vs-cost frontier measurable (the ``frontier_autoscale``
-experiment).
+stack (cold Persistent Buffer, shared latency table) and — when the group
+declares a ``startup_delay_ms`` — *provisions* it, joining routing only
+after the cold start elapses (cost accrues from the request); scale-down
+cancels provisioning replicas first, then drains a serving replica before
+retiring it.  Per-replica active-time accounting turns the lifecycle into
+replica-seconds *cost* metrics (optionally weighted per tier), making the
+SLO-attainment-vs-cost frontier measurable (the ``frontier_autoscale`` and
+``frontier_predictive`` experiments).
 """
 
 from repro.serving.autoscale.controller import (
     AutoscaleController,
     AutoscaleReport,
+    GroupLoad,
+    ScaledGroup,
     ScalingEvent,
 )
 from repro.serving.autoscale.policies import (
     POLICY_NAMES,
+    GroupStatus,
+    PredictivePolicy,
     ReactivePolicy,
     ScalingPolicy,
     SchedulePolicy,
     TargetUtilizationPolicy,
+    TierAwarePolicy,
     make_policy,
 )
 from repro.serving.autoscale.telemetry import MetricsSnapshot, TelemetryBus
@@ -39,13 +51,18 @@ from repro.serving.autoscale.telemetry import MetricsSnapshot, TelemetryBus
 __all__ = [
     "AutoscaleController",
     "AutoscaleReport",
+    "GroupLoad",
+    "GroupStatus",
     "MetricsSnapshot",
     "POLICY_NAMES",
+    "PredictivePolicy",
     "ReactivePolicy",
+    "ScaledGroup",
     "ScalingEvent",
     "ScalingPolicy",
     "SchedulePolicy",
     "TargetUtilizationPolicy",
+    "TierAwarePolicy",
     "TelemetryBus",
     "make_policy",
 ]

@@ -1,22 +1,88 @@
 """The autoscale controller: policy + telemetry + actuation bookkeeping.
 
 The controller sits between the serving engine and a scaling policy.  Every
-``control_interval_ms`` of simulated time the engine hands it a pool
-snapshot; the controller asks the policy for a desired size, clamps it to
-``[min_replicas, max_replicas]``, enforces directional cooldowns, and logs
-the resulting :class:`ScalingEvent`.  The *engine* enacts the decision —
-cloning fresh replicas on scale-up, draining-then-retiring on scale-down —
-because replica lifecycle is engine state; the controller only decides and
+``control_interval_ms`` of simulated time the engine hands it the pool's
+per-group load; the controller asks the policy for desired sizes, clamps
+each group to ``[min_replicas, max_replicas]``, enforces the pool-wide cost
+budget and directional cooldowns, and logs the resulting
+:class:`ScalingEvent`\\ s.  The *engine* enacts the decisions — cloning
+fresh replicas on scale-up (provisioning them for ``startup_delay_ms``
+before they join routing), draining-then-retiring on scale-down — because
+replica lifecycle is engine state; the controller only decides and
 accounts.
+
+Invariants:
+
+* Decisions are pure functions of the tick's snapshot and group loads:
+  repeated runs over the same event feed produce identical
+  :class:`ScalingEvent` logs (asserted by the engine's repeat-run tests).
+* Desired sizes are judged against *incoming* capacity (active +
+  provisioning), so a pending cold start is never re-requested; with
+  ``startup_delay_ms = 0`` everywhere this is the active count and the
+  controller is decision-identical to the pre-cold-start control plane.
+* The cost budget (weighted incoming replicas, weights from
+  :class:`ScaledGroup.cost_weight`) is a ceiling on *growth*: decisions
+  that would exceed it are trimmed, most expensive group first, but the
+  budget never forces a shrink below what is already running.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
-from repro.serving.autoscale.policies import ScalingPolicy, make_policy
+from repro.serving.autoscale.policies import (
+    GroupStatus,
+    PredictivePolicy,
+    ScalingPolicy,
+    make_policy,
+)
 from repro.serving.autoscale.telemetry import MetricsSnapshot, TelemetryBus
+
+
+@dataclass(frozen=True)
+class ScaledGroup:
+    """Static configuration of one replica group under autoscaler control.
+
+    ``cost_weight`` is the group's price in weighted replica-seconds per
+    replica-second (the unit of the pool-wide cost budget); ``startup_delay_ms``
+    is how long a scale-up replica provisions before it can serve.
+    ``replica_factory(position)`` builds a fresh replica at engine-global
+    index ``position`` (for SUSHI pools: a clone of the group's stack —
+    cold Persistent Buffer, shared latency table).
+    """
+
+    name: str | None = None
+    cost_weight: float = 1.0
+    startup_delay_ms: float = 0.0
+    min_replicas: int = 1
+    max_replicas: int = 8
+    replica_factory: Callable[[int], object] | None = None
+
+    def __post_init__(self) -> None:
+        if self.cost_weight <= 0:
+            raise ValueError("cost_weight must be positive")
+        if self.startup_delay_ms < 0:
+            raise ValueError("startup_delay_ms must be non-negative")
+        if self.min_replicas <= 0:
+            raise ValueError("min_replicas must be positive")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+
+
+@dataclass(frozen=True)
+class GroupLoad:
+    """Instantaneous pool state of one scaled group (engine-provided)."""
+
+    name: str | None
+    num_active: int
+    num_provisioning: int = 0
+    num_draining: int = 0
+    queue_depth: int = 0
+
+    @property
+    def num_incoming(self) -> int:
+        return self.num_active + self.num_provisioning
 
 
 @dataclass(frozen=True)
@@ -29,6 +95,8 @@ class ScalingEvent:
     from_replicas: int
     to_replicas: int
     reason: str
+    group: str | None = None
+    """Scaled group the event applies to (None for a single unnamed group)."""
 
 
 @dataclass(frozen=True)
@@ -41,6 +109,9 @@ class AutoscaleReport:
     events: tuple[ScalingEvent, ...]
     peak_replicas: int
     final_replicas: int
+    cost_budget: float | None = None
+    final_by_group: tuple[tuple[str | None, int], ...] = ()
+    """Final active replica count per scaled group (multi-tier pools)."""
 
     @property
     def num_scale_ups(self) -> int:
@@ -58,22 +129,37 @@ class AutoscaleController:
     ----------
     policy:
         Scaling policy name or instance (see
-        :func:`~repro.serving.autoscale.policies.make_policy`).
+        :func:`~repro.serving.autoscale.policies.make_policy`).  A policy
+        *instance* belongs to exactly one controller: the controller may
+        derive configuration into it (a predictive policy's ``horizon_ms``)
+        and drives its per-run state (the smoothed-demand EMA), so sharing
+        one instance across controllers couples their decisions — pass a
+        name (or a fresh instance) per controller instead.
     control_interval_ms:
         Simulated time between policy evaluations.
     window_ms:
         Telemetry sliding window (default: twice the control interval).
     min_replicas, max_replicas:
-        Hard bounds on the scalable pool size.
+        Hard bounds on the scalable pool size (per scaled group).
     up_cooldown_ms, down_cooldown_ms:
-        Minimum time between consecutive scale-ups / scale-downs.  Scaling
-        up is usually allowed faster than scaling down (drops hurt more
-        than idle replicas).
+        Minimum time between consecutive scale-ups / scale-downs (pool-wide
+        and directional).  Scaling up is usually allowed faster than
+        scaling down (drops hurt more than idle replicas).
     replica_factory:
-        ``factory(position) -> AcceleratorReplica`` used by the engine to
-        create a replica at engine-global index ``position`` on scale-up
-        (for SUSHI pools: a fresh clone of the group's stack — cold
-        Persistent Buffer, shared latency table).
+        ``factory(position) -> AcceleratorReplica`` for the single implicit
+        group when ``groups`` is not given (the pre-tier API).
+    groups:
+        Explicit :class:`ScaledGroup` configurations for multi-tier pools.
+        Mutually exclusive with ``replica_factory``; group names must be
+        unique.  When omitted, one implicit group is built from
+        ``replica_factory`` / ``min_replicas`` / ``max_replicas`` /
+        ``startup_delay_ms``.
+    startup_delay_ms:
+        Provisioning delay of the implicit single group (ignored when
+        ``groups`` is given).
+    cost_budget:
+        Pool-wide ceiling on ``sum(cost_weight x incoming replicas)``.
+        ``None`` disables budget enforcement.
     """
 
     def __init__(
@@ -87,6 +173,9 @@ class AutoscaleController:
         up_cooldown_ms: float = 0.0,
         down_cooldown_ms: float = 0.0,
         replica_factory: Callable[[int], object] | None = None,
+        groups: Sequence[ScaledGroup] | None = None,
+        startup_delay_ms: float = 0.0,
+        cost_budget: float | None = None,
     ) -> None:
         if control_interval_ms <= 0:
             raise ValueError("control_interval_ms must be positive")
@@ -96,52 +185,200 @@ class AutoscaleController:
             raise ValueError("max_replicas must be >= min_replicas")
         if up_cooldown_ms < 0 or down_cooldown_ms < 0:
             raise ValueError("cooldowns must be non-negative")
+        if cost_budget is not None and cost_budget <= 0:
+            raise ValueError("cost_budget must be positive")
         self.policy = make_policy(policy)
         self.control_interval_ms = float(control_interval_ms)
-        self.bus = TelemetryBus(
-            window_ms if window_ms is not None else 2.0 * control_interval_ms
-        )
         self.min_replicas = int(min_replicas)
         self.max_replicas = int(max_replicas)
         self.up_cooldown_ms = float(up_cooldown_ms)
         self.down_cooldown_ms = float(down_cooldown_ms)
-        self.replica_factory = replica_factory
+        self.cost_budget = cost_budget
+        if groups is not None:
+            if replica_factory is not None:
+                raise ValueError(
+                    "pass either groups or replica_factory, not both"
+                )
+            self.groups = tuple(groups)
+            if not self.groups:
+                raise ValueError("groups must not be empty")
+            names = [g.name for g in self.groups]
+            if len(set(names)) != len(names):
+                raise ValueError(f"scaled group names must be unique: {names}")
+        else:
+            self.groups = (
+                ScaledGroup(
+                    name=None,
+                    startup_delay_ms=startup_delay_ms,
+                    min_replicas=self.min_replicas,
+                    max_replicas=self.max_replicas,
+                    replica_factory=replica_factory,
+                ),
+            )
+        # A predictive policy left without a horizon gets the provisioning
+        # horizon it is meant to look across: the slowest group's cold start
+        # plus one control interval (the soonest a decision can land).
+        if isinstance(self.policy, PredictivePolicy) and self.policy.horizon_ms is None:
+            self.policy.horizon_ms = self.control_interval_ms + max(
+                g.startup_delay_ms for g in self.groups
+            )
+        if window_ms is not None:
+            window = float(window_ms)
+        else:
+            # Default window: twice the control interval — except for a
+            # predictive policy, whose slope estimate must span at least
+            # twice its horizon or the extrapolation amplifies Poisson
+            # noise into scaling thrash.
+            window = 2.0 * self.control_interval_ms
+            if isinstance(self.policy, PredictivePolicy):
+                window = max(window, 2.0 * (self.policy.horizon_ms or 0.0))
+        self.bus = TelemetryBus(window)
         self._events: list[ScalingEvent] = []
         self._num_controls = 0
         self._last_up_ms = -float("inf")
         self._last_down_ms = -float("inf")
         self._peak = 0
 
+    # ---------------------------------------------------------------- groups
+    @property
+    def replica_factory(self) -> Callable[[int], object] | None:
+        """The single group's factory (the pre-tier accessor)."""
+        return self.groups[0].replica_factory
+
+    def group(self, name: str | None) -> ScaledGroup:
+        for g in self.groups:
+            if g.name == name:
+                return g
+        raise KeyError(f"no scaled group named {name!r}")
+
     # ------------------------------------------------------------- decisions
     def decide(self, snapshot: MetricsSnapshot) -> int:
-        """Desired scalable-pool size for this tick (after clamp/cooldown).
+        """Desired scalable-pool size for this tick (single-group pools).
 
-        Returns the number of replicas the pool should have; the engine
-        compares it with the current active count and enacts the delta.
+        Returns the number of replicas the (one) scaled group should have;
+        the engine compares it with the current incoming count and enacts
+        the delta.  Multi-group controllers go through :meth:`decide_pool`.
+        """
+        if len(self.groups) != 1:
+            raise ValueError("decide() serves single-group pools; use decide_pool")
+        g = self.groups[0]
+        load = GroupLoad(
+            name=g.name,
+            num_active=snapshot.num_active,
+            num_provisioning=snapshot.num_provisioning,
+            num_draining=snapshot.num_draining,
+            queue_depth=snapshot.queue_depth,
+        )
+        return self.decide_pool(snapshot, (load,))[g.name]
+
+    def decide_pool(
+        self, snapshot: MetricsSnapshot, loads: Sequence[GroupLoad]
+    ) -> dict[str | None, int]:
+        """Desired size per scaled group (after clamp, budget and cooldown).
+
+        ``loads`` must align with :attr:`groups` (same names, same order).
         """
         self._num_controls += 1
-        active = snapshot.num_active
-        self._peak = max(self._peak, active)
-        desired, reason = self.policy.desired_replicas(snapshot)
-        desired = max(self.min_replicas, min(self.max_replicas, desired))
+        by_name = {load.name: load for load in loads}
+        statuses = tuple(
+            GroupStatus(
+                name=g.name,
+                cost_weight=g.cost_weight,
+                startup_delay_ms=g.startup_delay_ms,
+                min_replicas=g.min_replicas,
+                max_replicas=g.max_replicas,
+                num_active=by_name[g.name].num_active,
+                num_provisioning=by_name[g.name].num_provisioning,
+                num_draining=by_name[g.name].num_draining,
+                queue_depth=by_name[g.name].queue_depth,
+            )
+            for g in self.groups
+        )
+        total_incoming = sum(s.num_incoming for s in statuses)
+        self._peak = max(self._peak, total_incoming)
+        desired_map, reason = self.policy.desired_by_group(
+            snapshot, statuses, cost_budget=self.cost_budget
+        )
+        desired = {
+            g.name: max(g.min_replicas, min(g.max_replicas, desired_map[g.name]))
+            for g in self.groups
+        }
+        self._enforce_budget(desired, statuses)
+
         now = snapshot.time_ms
-        if desired > active:
-            if now - self._last_up_ms < self.up_cooldown_ms:
-                self._log(now, "held", active, active, f"up cooldown ({reason})")
-                return active
+        ups = [g for g in self.groups if desired[g.name] > by_name[g.name].num_incoming]
+        downs = [g for g in self.groups if desired[g.name] < by_name[g.name].num_incoming]
+        # Cooldowns are directional and pool-wide; a blocked change is
+        # logged per group (same from/to units as scale events) so the
+        # event log can always be replayed group by group.
+        if ups and now - self._last_up_ms < self.up_cooldown_ms:
+            for g in ups:
+                incoming = by_name[g.name].num_incoming
+                desired[g.name] = incoming
+                self._log(
+                    now, "held", incoming, incoming,
+                    f"up cooldown ({reason})", group=g.name,
+                )
+            ups = []
+        if downs and now - self._last_down_ms < self.down_cooldown_ms:
+            for g in downs:
+                incoming = by_name[g.name].num_incoming
+                desired[g.name] = incoming
+                self._log(
+                    now, "held", incoming, incoming,
+                    f"down cooldown ({reason})", group=g.name,
+                )
+            downs = []
+        if ups:
             self._last_up_ms = now
-            self._log(now, "scale_up", active, desired, reason)
-        elif desired < active:
-            if now - self._last_down_ms < self.down_cooldown_ms:
-                self._log(now, "held", active, active, f"down cooldown ({reason})")
-                return active
+        if downs:
             self._last_down_ms = now
-            self._log(now, "scale_down", active, desired, reason)
-        self._peak = max(self._peak, desired)
+        for g in ups:
+            self._log(
+                now, "scale_up", by_name[g.name].num_incoming, desired[g.name],
+                reason, group=g.name,
+            )
+        for g in downs:
+            self._log(
+                now, "scale_down", by_name[g.name].num_incoming, desired[g.name],
+                reason, group=g.name,
+            )
+        self._peak = max(self._peak, sum(desired.values()))
         return desired
 
+    def _enforce_budget(
+        self, desired: dict[str | None, int], statuses: Sequence[GroupStatus]
+    ) -> None:
+        """Trim growth so the weighted pool stays within the cost budget.
+
+        Reductions already in ``desired`` are kept (they free budget);
+        increases are cut back toward the incoming count, most expensive
+        group first, until the weighted total fits.  The budget never
+        forces a group below what is already incoming — shedding running
+        capacity is the policy's decision, not the accountant's.
+        """
+        if self.cost_budget is None:
+            return
+        def weighted() -> float:
+            return sum(s.cost_weight * desired[s.name] for s in statuses)
+
+        # Most expensive first; ties keep declaration order (stable sort).
+        for s in sorted(statuses, key=lambda s: -s.cost_weight):
+            while (
+                weighted() > self.cost_budget + 1e-9
+                and desired[s.name] > s.num_incoming
+            ):
+                desired[s.name] -= 1
+
     def _log(
-        self, now: float, action: str, from_n: int, to_n: int, reason: str
+        self,
+        now: float,
+        action: str,
+        from_n: int,
+        to_n: int,
+        reason: str,
+        *,
+        group: str | None = None,
     ) -> None:
         self._events.append(
             ScalingEvent(
@@ -150,18 +387,20 @@ class AutoscaleController:
                 from_replicas=from_n,
                 to_replicas=to_n,
                 reason=reason,
+                group=group,
             )
         )
 
     # -------------------------------------------------------------- lifecycle
-    def make_replica(self, position: int):
+    def make_replica(self, position: int, *, group: str | None = None):
         """A fresh replica for engine-global index ``position`` (scale-up)."""
-        if self.replica_factory is None:
+        factory = self.group(group).replica_factory
+        if factory is None:
             raise RuntimeError(
                 "this autoscale controller has no replica_factory; "
                 "scale-up needs one to create replicas"
             )
-        return self.replica_factory(position)
+        return factory(position)
 
     def reset(self) -> None:
         """Fresh telemetry, cooldowns and event log for a new run."""
@@ -173,7 +412,12 @@ class AutoscaleController:
         self._last_down_ms = -float("inf")
         self._peak = 0
 
-    def report(self, *, final_replicas: int) -> AutoscaleReport:
+    def report(
+        self,
+        *,
+        final_replicas: int,
+        final_by_group: Sequence[tuple[str | None, int]] = (),
+    ) -> AutoscaleReport:
         """Summarize the run's control activity."""
         return AutoscaleReport(
             policy=self.policy.name,
@@ -182,4 +426,6 @@ class AutoscaleController:
             events=tuple(self._events),
             peak_replicas=max(self._peak, final_replicas),
             final_replicas=final_replicas,
+            cost_budget=self.cost_budget,
+            final_by_group=tuple(final_by_group),
         )

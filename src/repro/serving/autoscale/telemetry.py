@@ -7,9 +7,23 @@ controller asks for a :class:`MetricsSnapshot`: queue depth, windowed arrival
 rate, drop rate, utilization and the p95 dispatch wait — the observable
 signals scaling policies act on.
 
-The bus never looks inside the engine: instantaneous state (queue depth,
-active replica counts) is passed in at snapshot time by the caller, while
-everything windowed is accumulated from the per-event feed.
+The window doubles as the *forecast* substrate: the snapshot splits it in
+half and reports the arrival-rate slope between the two halves
+(``arrival_rate_slope_per_ms2``), which predictive policies extrapolate over
+the provisioning horizon to scale ahead of a ramp instead of chasing it.
+
+Invariants:
+
+* The bus never looks inside the engine: instantaneous state (queue depth,
+  active/provisioning/draining replica counts) is passed in at snapshot time
+  by the caller, while everything windowed is accumulated from the per-event
+  feed.
+* Pruning is lazy and snapshots are pure reads of pool state — taking a
+  snapshot never changes what a later snapshot at the same time would see,
+  so control ticks cannot perturb the data plane.
+* All metrics are computed from plain event timestamps; replaying the same
+  event feed yields bit-identical snapshots (the engine's determinism
+  guarantee extends through the control plane).
 """
 
 from __future__ import annotations
@@ -35,10 +49,23 @@ class MetricsSnapshot:
         Active (routable) replicas of the scalable pool.
     num_draining:
         Replicas still finishing their queues before retirement.
+    num_provisioning:
+        Cold replicas requested but not yet serving (their
+        ``startup_delay_ms`` has not elapsed).  Policies count these as
+        *incoming* capacity so a pending scale-up is not re-requested at
+        every tick of the provisioning window.
     queue_depth:
         Waiting plus in-service queries across the live pool, right now.
     arrival_rate_per_ms:
         Arrivals in the window divided by the window.
+    arrival_rate_slope_per_ms2:
+        First-difference estimate of how fast the arrival rate is changing:
+        the rate over the window's recent half minus the rate over its older
+        half, divided by half the window.  Positive on a ramp-up, negative
+        on a decline, 0 when the window saw a flat rate (or is too young to
+        split).  Predictive policies extrapolate
+        ``rate + slope x (window/2 + horizon)`` to provision for the load
+        expected *after* the provisioning delay.
     drop_rate:
         Fraction of dispatch attempts in the window shed by admission
         control (0 when the window saw neither dispatches nor drops).
@@ -67,6 +94,23 @@ class MetricsSnapshot:
     p95_wait_ms: float
     mean_service_ms: float
     mean_batch_occupancy: float = 0.0
+    num_provisioning: int = 0
+    arrival_rate_slope_per_ms2: float = 0.0
+
+    @property
+    def num_incoming(self) -> int:
+        """Capacity already committed: serving now or provisioning."""
+        return self.num_active + self.num_provisioning
+
+    def forecast_rate_per_ms(self, horizon_ms: float) -> float:
+        """Arrival rate extrapolated ``horizon_ms`` past the tick.
+
+        The windowed rate is centered half a window in the past, so the
+        extrapolation spans ``window/2 + horizon``; the result is floored
+        at 0 (a steep decline cannot forecast negative traffic).
+        """
+        span = self.window_ms / 2.0 + horizon_ms
+        return max(0.0, self.arrival_rate_per_ms + self.arrival_rate_slope_per_ms2 * span)
 
 
 class TelemetryBus:
@@ -142,21 +186,33 @@ class TelemetryBus:
         num_draining: int = 0,
         queue_depth: int = 0,
         capacity_replicas: int | None = None,
+        num_provisioning: int = 0,
     ) -> MetricsSnapshot:
         """The windowed metrics as of ``now_ms``.
 
-        ``num_active`` / ``num_draining`` / ``queue_depth`` are instantaneous
-        pool facts only the engine knows; everything else comes from the
-        event feed.  ``capacity_replicas`` is the utilization denominator —
-        the replicas whose busy time can appear in the feed (the engine
-        passes active *plus draining*, since draining replicas still serve
-        their queues); it defaults to ``num_active``.
+        ``num_active`` / ``num_draining`` / ``num_provisioning`` /
+        ``queue_depth`` are instantaneous pool facts only the engine knows;
+        everything else comes from the event feed.  ``capacity_replicas`` is
+        the utilization denominator — the replicas whose busy time can
+        appear in the feed (the engine passes active *plus draining*, since
+        draining replicas still serve their queues; provisioning replicas
+        cannot serve and are excluded); it defaults to ``num_active``.
         """
         window = min(self.window_ms, now_ms) if now_ms > 0 else self.window_ms
         horizon = now_ms - window
         self._prune(horizon)
 
         arrivals = len(self._arrivals)
+        # Rate slope: the window split in half, recent-half rate minus
+        # older-half rate over the half width.  Zero for a degenerate
+        # (zero-length) window.
+        slope = 0.0
+        half = window / 2.0
+        if half > 0:
+            mid = now_ms - half
+            recent = sum(1 for t in self._arrivals if t >= mid)
+            older = arrivals - recent
+            slope = (recent - older) / half / half
         drops = len(self._drops)
         dispatches = len(self._waits)
         attempted = drops + dispatches
@@ -193,6 +249,8 @@ class TelemetryBus:
             p95_wait_ms=p95_wait,
             mean_service_ms=mean_service,
             mean_batch_occupancy=mean_occupancy,
+            num_provisioning=num_provisioning,
+            arrival_rate_slope_per_ms2=slope,
         )
 
     # ------------------------------------------------------------ lifecycle

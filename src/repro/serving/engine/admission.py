@@ -51,6 +51,9 @@ _ADMISSIONS = {
     DropExpired.name: DropExpired,
 }
 
+#: Names of the registered admission policies.
+ADMISSION_NAMES: tuple[str, ...] = tuple(sorted(_ADMISSIONS))
+
 
 def make_admission(spec: str | AdmissionPolicy) -> AdmissionPolicy:
     """Build an admission policy from a name, or pass an instance through."""

@@ -12,16 +12,38 @@ One dispatch-time core behind both serving views of the paper's evaluation:
 The engine is deliberately model-agnostic: a replica's backend is anything
 with a ``serve_query`` method, so the SUSHI stack, the paper's baselines and
 synthetic test servers all plug in unchanged.
+
+Invariants the rest of the system builds on:
+
+* **Determinism** — the run is a pure function of (replicas, trace,
+  arrival timestamps): the event heap breaks timestamp ties by kind
+  (completions → arrivals → provisioning hand-overs → control ticks) and
+  then insertion order, every routing/discipline/policy decision is
+  deterministic, and repeated runs (after ``reset()``) produce identical
+  records, drops, scaling events and cost accounting.
+* **Record identity across feature gates** — each optional layer is
+  bit-exact inert at its neutral setting: ``autoscaler=None`` matches the
+  pre-autoscaling event path, ``max_batch=1`` matches the pre-batching
+  dispatch, ``startup_delay_ms=0`` matches the instant-scale-up control
+  plane (no PROVISIONING events are ever scheduled), and a single scaled
+  group with ``cost_weight=1.0`` matches the pre-tier controller.
+* **Conservation** — every offered query is exactly once served or
+  dropped; draining replicas finish their queues before retiring; retired
+  replicas hold no work.
+* **Cost accounting** — a replica accrues ``active_ms`` from creation
+  (scale-up request, *including* its cold-start window) to retirement or
+  the run's last data-plane event; control ticks and provisioning
+  hand-overs never extend the billed duration.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.serving.autoscale.controller import AutoscaleController
+from repro.serving.autoscale.controller import AutoscaleController, GroupLoad
 from repro.serving.engine.admission import AdmissionPolicy, make_admission
 from repro.serving.engine.disciplines import QueueDiscipline, QueuedQuery
 from repro.serving.engine.events import Event, EventHeap, EventKind
@@ -73,13 +95,19 @@ class ServingEngine:
         Optional :class:`~repro.serving.autoscale.AutoscaleController`.
         When set, the engine feeds its telemetry bus per event and fires a
         CONTROL event every control interval: scale-up appends replicas from
-        the controller's factory, scale-down drains a replica (it finishes
-        its queue, then retires).  ``None`` keeps the pool fixed and the
-        event path bit-identical to the pre-autoscaling engine.
+        the controller's per-group factories (cold ones provision for the
+        group's ``startup_delay_ms`` before joining routing), scale-down
+        cancels provisioning replicas first and then drains a serving one
+        (it finishes its queue, then retires).  ``None`` keeps the pool
+        fixed and the event path bit-identical to the pre-autoscaling
+        engine.
     scalable_indices:
         Positions of the replicas the autoscaler may retire (and whose
-        group the factory clones).  ``None`` makes the whole initial pool
-        scalable.  Ignored without an autoscaler.
+        group the factory clones).  For a single scaled group this is a
+        plain sequence (``None`` makes the whole initial pool scalable);
+        a multi-group (tier-aware) controller needs a mapping
+        ``{group name: positions}`` covering each of its groups.  Ignored
+        without an autoscaler.
     """
 
     def __init__(
@@ -90,7 +118,9 @@ class ServingEngine:
         admission: str | AdmissionPolicy = "admit_all",
         dispatch_time_scheduling: bool = True,
         autoscaler: AutoscaleController | None = None,
-        scalable_indices: Sequence[int] | None = None,
+        scalable_indices: (
+            Sequence[int] | Mapping[str | None, Sequence[int]] | None
+        ) = None,
     ) -> None:
         if not replicas:
             raise ValueError("the engine needs at least one replica")
@@ -112,33 +142,86 @@ class ServingEngine:
         self.admission = make_admission(admission)
         self.dispatch_time_scheduling = dispatch_time_scheduling
         self.autoscaler = autoscaler
-        if autoscaler is not None and autoscaler.replica_factory is None:
+        if autoscaler is not None and any(
+            g.replica_factory is None for g in autoscaler.groups
+        ):
             raise ValueError(
                 "an autoscaled engine needs the controller to carry a "
                 "replica_factory for scale-up"
             )
+        self._initial_membership = self._normalize_membership(scalable_indices)
+        # The initial pool is restored on reset() so repeated runs of an
+        # autoscaled engine start from the spec's replica groups, not from
+        # wherever the previous run's scaling left the pool.
+        self._initial_replicas = list(self.replicas)
+        # Live membership: group name -> replica indices (initial positions
+        # plus indices of replicas created by scale-ups, in creation order).
+        self._group_indices = {
+            name: list(indices) for name, indices in self._initial_membership.items()
+        }
+        # Telemetry describes only the scaled groups: feeding the bus events
+        # from static groups would inflate utilization/queue signals with
+        # load the policy cannot shed, thrashing the controller.
+        self._scalable_set = {
+            i for indices in self._group_indices.values() for i in indices
+        }
+        self._needs_estimates = self.router.needs_service_estimates or any(
+            r.queue.needs_service_estimates for r in self.replicas
+        )
+        self._run_end_ms = 0.0
+
+    def _normalize_membership(
+        self,
+        scalable_indices: (
+            Sequence[int] | Mapping[str | None, Sequence[int]] | None
+        ),
+    ) -> dict[str | None, tuple[int, ...]]:
+        """``{scaled group name: initial replica positions}``, validated."""
+        if self.autoscaler is None:
+            return {}
+        groups = self.autoscaler.groups
         if scalable_indices is None:
-            self._scalable_indices = tuple(range(len(self.replicas)))
+            if len(groups) > 1:
+                raise ValueError(
+                    "a multi-group autoscaler needs scalable_indices as a "
+                    "mapping {group name: positions}"
+                )
+            membership = {groups[0].name: tuple(range(len(self.replicas)))}
+        elif isinstance(scalable_indices, Mapping):
+            missing = [g.name for g in groups if g.name not in scalable_indices]
+            if missing:
+                raise ValueError(
+                    f"scalable_indices misses scaled groups {missing}"
+                )
+            extra = set(scalable_indices) - {g.name for g in groups}
+            if extra:
+                raise ValueError(
+                    f"scalable_indices names unknown groups {sorted(map(str, extra))}"
+                )
+            membership = {
+                g.name: tuple(scalable_indices[g.name]) for g in groups
+            }
         else:
-            self._scalable_indices = tuple(scalable_indices)
-            for i in self._scalable_indices:
+            if len(groups) > 1:
+                raise ValueError(
+                    "a multi-group autoscaler needs scalable_indices as a "
+                    "mapping {group name: positions}"
+                )
+            membership = {groups[0].name: tuple(scalable_indices)}
+        seen: set[int] = set()
+        for name, indices in membership.items():
+            for i in indices:
                 if not (0 <= i < len(self.replicas)):
                     raise ValueError(
                         f"scalable index {i} outside the initial pool "
                         f"[0, {len(self.replicas)})"
                     )
-        # The initial pool is restored on reset() so repeated runs of an
-        # autoscaled engine start from the spec's replica groups, not from
-        # wherever the previous run's scaling left the pool.
-        self._initial_replicas = list(self.replicas)
-        # Telemetry describes only the scaled group: feeding the bus events
-        # from static groups would inflate utilization/queue signals with
-        # load the policy cannot shed, thrashing the controller.
-        self._scalable_set = set(self._scalable_indices)
-        self._needs_estimates = self.router.needs_service_estimates or any(
-            r.queue.needs_service_estimates for r in self.replicas
-        )
-        self._run_end_ms = 0.0
+                if i in seen:
+                    raise ValueError(
+                        f"replica position {i} belongs to two scaled groups"
+                    )
+                seen.add(i)
+        return membership
 
     @property
     def num_replicas(self) -> int:
@@ -150,26 +233,30 @@ class ServingEngine:
             return self.replicas
         return [r for r in self.replicas if r.is_routable]
 
-    def _scalable_pool(self) -> list[AcceleratorReplica]:
-        """Live members of the autoscaled group (initial + engine-created)."""
-        pool = [
+    def _group_pool(self, name: str | None) -> list[AcceleratorReplica]:
+        """Live members of one scaled group (initial + engine-created)."""
+        return [
             self.replicas[i]
-            for i in self._scalable_indices
+            for i in self._group_indices[name]
             if not self.replicas[i].is_retired
         ]
-        pool.extend(
-            r
-            for r in self.replicas[len(self._initial_replicas):]
-            if not r.is_retired
-        )
-        return pool
+
+    def _scalable_pool(self) -> list[AcceleratorReplica]:
+        """Live members of every autoscaled group, in group order."""
+        return [
+            replica
+            for name in self._group_indices
+            for replica in self._group_pool(name)
+        ]
 
     # ------------------------------------------------------------ lifecycle
     def reset(self) -> None:
         """Fresh replica, router and backend state for a new run.
 
-        Replicas created by a previous run's scale-ups are discarded; the
-        pool returns to its construction-time composition.
+        Replicas created by a previous run's scale-ups are discarded — a
+        provisioning replica pending at the end of one run never leaks into
+        the next — and the pool returns to its construction-time
+        composition.
         """
         self.replicas = list(self._initial_replicas)
         for replica in self.replicas:
@@ -177,7 +264,12 @@ class ServingEngine:
         self.router.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
-        self._scalable_set = set(self._scalable_indices)
+        self._group_indices = {
+            name: list(indices) for name, indices in self._initial_membership.items()
+        }
+        self._scalable_set = {
+            i for indices in self._group_indices.values() for i in indices
+        }
         self._run_end_ms = 0.0
 
     # ------------------------------------------------------------- open loop
@@ -293,9 +385,10 @@ class ServingEngine:
         needs_estimates = self._needs_estimates
         scalable = self._scalable_set
         heap_pop = heap.pop
-        ARRIVAL, COMPLETION, CONTROL = (
+        ARRIVAL, COMPLETION, PROVISIONING, CONTROL = (
             EventKind.ARRIVAL,
             EventKind.COMPLETION,
+            EventKind.PROVISIONING,
             EventKind.CONTROL,
         )
         seq = 0
@@ -303,11 +396,11 @@ class ServingEngine:
             event = heap_pop()
             now = event.time_ms
             kind = event.kind
-            if kind != CONTROL:
+            if kind == ARRIVAL or kind == COMPLETION:
                 # Only data-plane events define the run's duration: a
-                # trailing control tick after the last completion must not
-                # inflate the cost accounting relative to a static run of
-                # the same trace.
+                # trailing control tick (or provisioning hand-over) after
+                # the last completion must not inflate the cost accounting
+                # relative to a static run of the same trace.
                 self._run_end_ms = now
             if kind == ARRIVAL:
                 query = event.payload
@@ -338,6 +431,12 @@ class ServingEngine:
                 replica = self.replicas[event.payload]
                 self._complete(replica, outcomes, now)
                 self._dispatch(replica, now, heap, dropped)
+            elif kind == PROVISIONING:
+                replica = self.replicas[event.payload]
+                # A scale-down during the cold start cancelled (retired)
+                # the replica; its stale hand-over event is a no-op.
+                if not replica.is_retired and replica.provisioning:
+                    replica.finish_provisioning()
             else:  # CONTROL
                 self._control(now, heap)
         outcomes.sort(key=lambda o: o.query_index)
@@ -348,43 +447,42 @@ class ServingEngine:
     def _control(self, now: float, heap: EventHeap) -> None:
         """One autoscaler tick: snapshot the pool, enact the policy's delta."""
         ctl = self.autoscaler
-        pool = self._scalable_pool()
-        active = [r for r in pool if not r.draining]
-        draining = [r for r in pool if r.draining]
-        # All signals describe the scaled group only (matching the event
+        # All signals describe the scaled groups only (matching the event
         # feed); draining replicas still serve their queues, so they count
         # toward the utilization capacity but not toward the policy's
-        # notion of the pool size.
-        queue_depth = sum(r.queue_length() for r in pool)
+        # notion of the pool size; provisioning replicas cannot serve and
+        # are excluded from the capacity denominator.
+        loads: list[GroupLoad] = []
+        members: dict[str | None, list[AcceleratorReplica]] = {}
+        for group in ctl.groups:
+            pool = self._group_pool(group.name)
+            members[group.name] = pool
+            loads.append(
+                GroupLoad(
+                    name=group.name,
+                    num_active=sum(
+                        1 for r in pool if not r.draining and not r.provisioning
+                    ),
+                    num_provisioning=sum(1 for r in pool if r.provisioning),
+                    num_draining=sum(1 for r in pool if r.draining),
+                    queue_depth=sum(r.queue_length() for r in pool),
+                )
+            )
         snapshot = ctl.bus.snapshot(
             now,
-            num_active=len(active),
-            num_draining=len(draining),
-            queue_depth=queue_depth,
-            capacity_replicas=len(pool),
+            num_active=sum(load.num_active for load in loads),
+            num_draining=sum(load.num_draining for load in loads),
+            queue_depth=sum(load.queue_depth for load in loads),
+            capacity_replicas=sum(
+                load.num_active + load.num_draining for load in loads
+            ),
+            num_provisioning=sum(load.num_provisioning for load in loads),
         )
-        desired = ctl.decide(snapshot)
-        if desired > len(active):
-            # Reclaim draining replicas first (their Persistent Buffers are
-            # still warm), newest drain first; then clone fresh replicas.
-            needed = desired - len(active)
-            for replica in reversed(draining):
-                if needed == 0:
-                    break
-                replica.undrain()
-                needed -= 1
-            for _ in range(needed):
-                replica = ctl.make_replica(len(self.replicas))
-                replica.assign_index(len(self.replicas))
-                replica.activated_ms = now
-                self.replicas.append(replica)
-                self._scalable_set.add(replica.index)
-        elif desired < len(active):
-            # Drain from the end of the pool: the newest replicas go first,
-            # keeping the long-lived (warm) ones serving.
-            for replica in reversed(active[desired - len(active):]):
-                replica.start_draining()
-                self._maybe_retire(replica, now)
+        desired_map = ctl.decide_pool(snapshot, loads)
+        for group, load in zip(ctl.groups, loads):
+            self._resize_group(
+                group, load, desired_map[group.name], members[group.name], now, heap
+            )
         # Keep ticking while the simulation still has work in flight; once
         # the heap is empty and every queue is drained the run is over and
         # the control loop stops with it.
@@ -392,6 +490,68 @@ class ServingEngine:
             r.is_busy or len(r.queue) for r in self.replicas if not r.is_retired
         ):
             heap.push(Event(now + ctl.control_interval_ms, EventKind.CONTROL, None))
+
+    def _resize_group(
+        self,
+        group,
+        load: GroupLoad,
+        desired: int,
+        pool: list[AcceleratorReplica],
+        now: float,
+        heap: EventHeap,
+    ) -> None:
+        """Enact one group's desired-size delta against its incoming count."""
+        incoming = load.num_incoming
+        if desired > incoming:
+            # Reclaim draining replicas first (their Persistent Buffers are
+            # still warm and they serve instantly), newest drain first; then
+            # clone fresh replicas, which provision for the group's
+            # startup delay before joining routing.
+            needed = desired - incoming
+            for replica in reversed([r for r in pool if r.draining]):
+                if needed == 0:
+                    break
+                replica.undrain()
+                needed -= 1
+            ctl = self.autoscaler
+            for _ in range(needed):
+                index = len(self.replicas)
+                replica = ctl.make_replica(index, group=group.name)
+                replica.assign_index(index)
+                replica.activated_ms = now
+                if group.startup_delay_ms > 0:
+                    replica.start_provisioning(now, now + group.startup_delay_ms)
+                    heap.push(
+                        Event(
+                            now + group.startup_delay_ms,
+                            EventKind.PROVISIONING,
+                            index,
+                        )
+                    )
+                self.replicas.append(replica)
+                self._group_indices[group.name].append(index)
+                self._scalable_set.add(index)
+        elif desired < incoming:
+            # Cancel provisioning replicas first (they never served — the
+            # cheapest capacity to shed), newest request first; then drain
+            # serving replicas from the end of the pool, keeping the
+            # long-lived (warm) ones serving.
+            excess = incoming - desired
+            for replica in reversed([r for r in pool if r.provisioning]):
+                if excess == 0:
+                    break
+                replica.retire(now)
+                excess -= 1
+            # is_retired filters the provisioning replicas cancelled just
+            # above (retire() cleared their provisioning flag).
+            active = [
+                r
+                for r in pool
+                if not r.draining and not r.provisioning and not r.is_retired
+            ]
+            for replica in reversed(active[len(active) - excess:]):
+                replica.start_draining()
+                self._maybe_retire(replica, now)
 
     def _maybe_retire(self, replica: AcceleratorReplica, now: float) -> None:
         """Retire a draining replica once it is idle with an empty queue."""
@@ -627,15 +787,24 @@ class ServingEngine:
             else:
                 offered_load = 0.0
         throughput = len(outcomes) / makespan if makespan > 0 else 0.0
-        report = (
-            None
-            if self.autoscaler is None
-            else self.autoscaler.report(
-                final_replicas=len(
-                    [r for r in self._scalable_pool() if not r.draining]
+        if self.autoscaler is None:
+            report = None
+        else:
+            final_by_group = tuple(
+                (
+                    name,
+                    sum(
+                        1
+                        for r in self._group_pool(name)
+                        if not r.draining and not r.provisioning
+                    ),
                 )
+                for name in self._group_indices
             )
-        )
+            report = self.autoscaler.report(
+                final_replicas=sum(n for _, n in final_by_group),
+                final_by_group=final_by_group,
+            )
         return SimulationResult(
             outcomes=tuple(outcomes),
             offered_load=offered_load,

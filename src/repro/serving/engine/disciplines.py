@@ -146,6 +146,9 @@ _DISCIPLINES = {
     SlackPriorityQueue.name: SlackPriorityQueue,
 }
 
+#: Names of the registered queue disciplines.
+DISCIPLINE_NAMES: tuple[str, ...] = tuple(sorted(_DISCIPLINES))
+
 
 def make_discipline(spec: str | QueueDiscipline) -> QueueDiscipline:
     """Build a fresh discipline from a name, or pass an instance through."""

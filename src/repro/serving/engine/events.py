@@ -1,15 +1,20 @@
 """Discrete-event machinery: the event heap of the serving engine.
 
 The engine advances simulated time through a priority queue of timestamped
-events.  Three event kinds exist: a query *arrival* (it enters the system
+events.  Four event kinds exist: a query *arrival* (it enters the system
 and is routed to a replica's queue), a replica *completion* (a replica
-finishes its in-service query and pulls the next one), and an autoscaler
-*control* tick (the scaling policy observes the pool and may resize it).
-At equal timestamps completions are processed before arrivals so a replica
-freed at time ``t`` is visible to routing decisions made at ``t``, and
-control ticks run last so the policy sees every data-plane event up to and
-including ``t``; remaining ties resolve by insertion order, which keeps
-every run deterministic.
+finishes its in-service query and pulls the next one), a replica
+*provisioning* hand-over (a cold scale-up replica finishes its
+``startup_delay_ms`` and joins routing), and an autoscaler *control* tick
+(the scaling policy observes the pool and may resize it).
+
+Tie-breaking at equal timestamps (the engine's determinism contract):
+completions are processed before arrivals so a replica freed at time ``t``
+is visible to routing decisions made at ``t``; provisioning hand-overs run
+after the data plane but before control so a replica warm at ``t`` is
+active in the tick's snapshot at ``t``; control ticks run last so the
+policy sees every data-plane event up to and including ``t``.  Remaining
+ties resolve by insertion order, which keeps every run deterministic.
 """
 
 from __future__ import annotations
@@ -25,7 +30,8 @@ class EventKind(enum.IntEnum):
 
     COMPLETION = 0
     ARRIVAL = 1
-    CONTROL = 2
+    PROVISIONING = 2
+    CONTROL = 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,8 +46,8 @@ class Event:
     time_ms: float
     kind: EventKind
     payload: Any
-    """ARRIVAL: the arriving :class:`Query`.  COMPLETION: the replica index.
-    CONTROL: unused (None)."""
+    """ARRIVAL: the arriving :class:`Query`.  COMPLETION / PROVISIONING: the
+    replica index.  CONTROL: unused (None)."""
 
 
 class EventHeap:

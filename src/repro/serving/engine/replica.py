@@ -62,9 +62,13 @@ class ReplicaStats:
     busy_ms: float = 0.0
     queueing_ms_total: float = 0.0
     active_ms: float = 0.0
-    """Provisioned time: activation until retirement (or end of run).  The
+    """Provisioned time: creation until retirement (or end of run).  The
     unit of the replica-seconds cost metric — a replica costs while it
-    exists, busy or idle."""
+    exists, busy, idle or still cold-starting."""
+    cost_weight: float = 1.0
+    """Replica-seconds cost weight of the replica's group (1.0 for
+    homogeneous pools): ``active_ms x cost_weight`` is what the replica
+    charges against a tier-aware cost budget."""
 
     @property
     def mean_queueing_ms(self) -> float:
@@ -141,6 +145,10 @@ class AcceleratorReplica:
         ``per_query``).  ``per_query`` — members keep their own decisions and
         run back to back within the pickup (amortizes only the dispatch
         overhead).
+    cost_weight:
+        Replica-seconds cost weight (the group's tier price; 1.0 for
+        homogeneous pools), recorded on :class:`ReplicaStats` for weighted
+        cost accounting.
     """
 
     def __init__(
@@ -153,6 +161,7 @@ class AcceleratorReplica:
         service_estimator: Callable[[Query], float] | None = None,
         max_batch: int = 1,
         batch_policy: str = "shared_subnet",
+        cost_weight: float = 1.0,
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -161,9 +170,12 @@ class AcceleratorReplica:
                 f"unknown batch_policy {batch_policy!r}; expected "
                 "'shared_subnet' or 'per_query'"
             )
+        if cost_weight <= 0:
+            raise ValueError(f"cost_weight must be positive, got {cost_weight}")
         self.server = server
         self.max_batch = max_batch
         self.batch_policy = batch_policy
+        self.cost_weight = cost_weight
         self.queue = make_discipline(discipline)
         self.index = index
         self._explicit_name = name
@@ -179,9 +191,13 @@ class AcceleratorReplica:
         self._queued_work_ms = 0.0
         self.activated_ms = 0.0
         self.draining = False
+        self.provisioning = False
+        self.provision_ready_ms: float | None = None
         self.retired_at_ms: float | None = None
         self.stats = ReplicaStats(
-            replica_index=-1 if index is None else index, name=self.name
+            replica_index=-1 if index is None else index,
+            name=self.name,
+            cost_weight=cost_weight,
         )
 
     def assign_index(self, index: int) -> None:
@@ -256,7 +272,24 @@ class AcceleratorReplica:
     @property
     def is_routable(self) -> bool:
         """Whether the router may send new arrivals here."""
-        return not self.draining and not self.is_retired
+        return not self.draining and not self.is_retired and not self.provisioning
+
+    def start_provisioning(self, now_ms: float, ready_ms: float) -> None:
+        """Begin the cold start: cost accrues now, routing waits for ready.
+
+        Between ``now_ms`` and ``ready_ms`` the replica exists (and is paid
+        for) but serves nothing; :meth:`finish_provisioning` hands it to the
+        router.  A scale-down during the window cancels it via
+        :meth:`retire` — cheapest capacity to shed, it never served.
+        """
+        self.provisioning = True
+        self.provision_ready_ms = ready_ms
+        self.activated_ms = now_ms
+
+    def finish_provisioning(self) -> None:
+        """The startup delay elapsed: join the routable pool."""
+        self.provisioning = False
+        self.provision_ready_ms = None
 
     def start_draining(self) -> None:
         """Stop accepting arrivals; finish the queue, then retire."""
@@ -269,9 +302,16 @@ class AcceleratorReplica:
         self.draining = False
 
     def retire(self, now_ms: float) -> None:
-        """Leave the pool for good; accrue the final active time."""
+        """Leave the pool for good; accrue the final active time.
+
+        Also how a provisioning replica is *cancelled*: retiring before
+        ``provision_ready_ms`` charges the cold-start time spent so far and
+        leaves the pending hand-over event to find a retired replica.
+        """
         if self.is_retired:  # pragma: no cover - engine invariant
             raise RuntimeError(f"{self.name} is already retired")
+        self.provisioning = False
+        self.provision_ready_ms = None
         self.retired_at_ms = now_ms
         self.stats.active_ms = now_ms - self.activated_ms
 
@@ -284,9 +324,13 @@ class AcceleratorReplica:
         self.in_service = None
         self.activated_ms = 0.0
         self.draining = False
+        self.provisioning = False
+        self.provision_ready_ms = None
         self.retired_at_ms = None
         self.stats = ReplicaStats(
-            replica_index=-1 if self.index is None else self.index, name=self.name
+            replica_index=-1 if self.index is None else self.index,
+            name=self.name,
+            cost_weight=self.cost_weight,
         )
         reset = getattr(self.server, "reset", None)
         if callable(reset):

@@ -185,6 +185,19 @@ class SimulationResult:
         return self.total_replica_active_ms / 1000.0
 
     @property
+    def weighted_replica_seconds(self) -> float:
+        """Replica-seconds weighted by each replica's tier cost weight.
+
+        Heterogeneous pools price tiers differently (a large-PB replica
+        costs more per second than a small-PB one); this is the cost the
+        tier-aware autoscaler budgets against.  Equal to
+        :attr:`replica_seconds` when every weight is 1.0.
+        """
+        return (
+            sum(s.active_ms * s.cost_weight for s in self.replica_stats) / 1000.0
+        )
+
+    @property
     def mean_active_replicas(self) -> float:
         """Time-weighted mean pool size over the run."""
         if self.duration_ms <= 0:

@@ -137,6 +137,9 @@ _ROUTERS = {
     FastestExpectedRouter.name: FastestExpectedRouter,
 }
 
+#: Names of the registered routing policies.
+ROUTER_NAMES: tuple[str, ...] = tuple(sorted(_ROUTERS))
+
 
 def make_router(spec: str | RoutingPolicy) -> RoutingPolicy:
     """Build a routing policy from a name, or pass an instance through."""

@@ -14,12 +14,27 @@ is captured in frozen, JSON-serializable dataclasses:
 * :class:`ScenarioSpec` — the whole experiment: replica groups, router,
   admission policy, workload (query constraints) and arrival process.
 
-Every spec round-trips through ``to_dict()`` / ``from_dict()`` with plain
-JSON types only, so scenarios can live in version-controlled ``.json`` files
-(see ``examples/scenarios/``) and be run from the command line with
-``python -m repro serve --scenario <file>``.  The imperative counterpart —
-actually building stacks, replicas and the engine from a spec — lives in
-:mod:`repro.serving.api`.
+Contracts every consumer relies on:
+
+* **Exact round-trip** — ``from_dict(to_dict(spec)) == spec`` for every
+  valid spec, through plain JSON types only (lists become tuples on the way
+  back in), so scenarios can live in version-controlled ``.json`` files
+  (see ``examples/scenarios/``) and be run from the command line with
+  ``python -m repro serve --scenario <file>``.  ``python -m repro schema``
+  prints the full field/default/enum reference
+  (:func:`scenario_schema`; prose version in ``docs/scenario-schema.md``).
+* **Validation at construction** — every spec validates its fields in
+  ``__post_init__``; an invalid scenario fails when parsed, never mid-run.
+* **Neutral defaults are inert** — fields added after PR 2 default to
+  values that leave earlier behavior bit-identical: ``autoscaler: null``
+  matches the fixed-pool engine path, ``batching.max_batch = 1`` the
+  pre-batching dispatch, ``startup_delay_ms = 0`` the instant-scale-up
+  control plane, ``cost_weight = 1.0`` unweighted cost accounting.  A PR 3
+  era JSON file (without the newer keys) parses to the same spec as one
+  spelling the defaults out.
+
+The imperative counterpart — actually building stacks, replicas and the
+engine from a spec — lives in :mod:`repro.serving.api`.
 """
 
 from __future__ import annotations
@@ -34,6 +49,9 @@ import numpy as np
 from repro.accelerator.platforms import PlatformConfig, platform_by_name
 from repro.core.policies import Policy
 from repro.serving.autoscale.policies import POLICY_NAMES, ScalingPolicy, make_policy
+from repro.serving.engine.admission import ADMISSION_NAMES
+from repro.serving.engine.disciplines import DISCIPLINE_NAMES
+from repro.serving.engine.routing import ROUTER_NAMES
 from repro.serving.workload import PATTERNS, WorkloadSpec
 
 __all__ = [
@@ -46,6 +64,7 @@ __all__ = [
     "BatchingSpec",
     "ReplicaGroupSpec",
     "ScenarioSpec",
+    "scenario_schema",
 ]
 
 #: Scaling policies an :class:`AutoscalerSpec` can name (re-exported).
@@ -315,6 +334,18 @@ class ReplicaGroupSpec:
     batching:
         Batched-dispatch configuration (:class:`BatchingSpec`).  The default
         ``max_batch=1`` keeps the classic one-query-at-a-time pickup.
+    cost_weight:
+        Replica-seconds price of this tier relative to weight 1.0 (e.g. a
+        large-PB group at 2.0 costs twice a small-PB group per second).
+        What the tier-aware autoscaler ranks groups by and budgets against
+        (``AutoscalerSpec.cost_budget``); also weights
+        ``SimulationResult.weighted_replica_seconds``.
+    startup_delay_ms:
+        Cold-start time of a scale-up replica in this group: a new replica
+        joins routing only after this much simulated time (it is paid for
+        from the moment it is requested).  ``0`` (the default) keeps
+        scale-ups instant — record-identical to the pre-cold-start control
+        plane.
     subnet_name:
         For ``static_subnet`` backends: which SubNet to pin (None pins the
         most accurate one).
@@ -333,6 +364,8 @@ class ReplicaGroupSpec:
     seed: int | None = None
     discipline: str = "fifo"
     batching: BatchingSpec = field(default_factory=BatchingSpec)
+    cost_weight: float = 1.0
+    startup_delay_ms: float = 0.0
     subnet_name: str | None = None
     name: str | None = None
 
@@ -357,6 +390,14 @@ class ReplicaGroupSpec:
                 self.cache_update_period > 0,
                 f"cache_update_period must be positive, got {self.cache_update_period}",
             )
+        _require(
+            self.cost_weight > 0,
+            f"cost_weight must be positive, got {self.cost_weight}",
+        )
+        _require(
+            self.startup_delay_ms >= 0,
+            f"startup_delay_ms must be non-negative, got {self.startup_delay_ms}",
+        )
         if isinstance(self.platform, str):
             # Fail at spec time, not at build time.
             platform_by_name(self.platform)
@@ -390,6 +431,8 @@ class ReplicaGroupSpec:
             "seed": self.seed,
             "discipline": self.discipline,
             "batching": self.batching.to_dict(),
+            "cost_weight": self.cost_weight,
+            "startup_delay_ms": self.startup_delay_ms,
             "subnet_name": self.subnet_name,
             "name": self.name,
         }
@@ -422,13 +465,14 @@ class AutoscalerSpec:
     Attributes
     ----------
     policy:
-        ``reactive`` / ``target_utilization`` / ``scheduled``.
+        ``reactive`` / ``target_utilization`` / ``predictive`` /
+        ``scheduled`` / ``tier_aware``.
     control_interval_ms:
         Simulated time between policy evaluations.
     window_ms:
         Telemetry sliding window (None: twice the control interval).
     min_replicas, max_replicas:
-        Hard bounds on the scaled group's active replica count.
+        Hard bounds on each scaled group's active replica count.
     up_cooldown_ms, down_cooldown_ms:
         Minimum spacing between scale-ups / scale-downs.
     group:
@@ -436,11 +480,25 @@ class AutoscalerSpec:
         group).  Scale-up clones that group's backend (for SUSHI stacks: a
         fresh scheduler and cold Persistent Buffer sharing the group's
         latency table); scale-down drains a replica before retiring it.
+    groups:
+        Names of *several* replica groups for the ``tier_aware`` policy,
+        which chooses the tier to grow (cheapest ``cost_weight`` that fits
+        the budget) or shrink (most expensive first).  Mutually exclusive
+        with ``group``; every name must match a replica group.
+    cost_budget:
+        ``tier_aware`` ceiling on the weighted pool size
+        (``sum(cost_weight x incoming replicas)`` over the scaled groups).
+        None disables the budget.
     max_drop_rate, max_queue_per_replica, min_utilization,
     scale_up_step, scale_down_step:
-        ``reactive`` policy thresholds.
+        ``reactive`` policy thresholds (``tier_aware`` shares the first
+        three).
     target_utilization, deadband:
-        ``target_utilization`` policy set-point.
+        ``target_utilization`` / ``predictive`` policy set-point.
+    horizon_ms:
+        ``predictive`` forecast horizon.  None (the default) derives it at
+        build time: the scaled group's ``startup_delay_ms`` plus one
+        control interval — the soonest a decision made now can serve.
     schedule, period_ms:
         ``scheduled`` policy plan: ``(start_ms, replicas)`` entries, with
         an optional cycle period for diurnal plans.
@@ -454,6 +512,8 @@ class AutoscalerSpec:
     up_cooldown_ms: float = 0.0
     down_cooldown_ms: float = 0.0
     group: str | None = None
+    groups: tuple[str, ...] = ()
+    cost_budget: float | None = None
     max_drop_rate: float = 0.05
     max_queue_per_replica: float = 4.0
     min_utilization: float = 0.40
@@ -461,11 +521,13 @@ class AutoscalerSpec:
     scale_down_step: int = 1
     target_utilization: float = 0.60
     deadband: float = 0.10
+    horizon_ms: float | None = None
     schedule: tuple[tuple[float, int], ...] = ()
     period_ms: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schedule", _as_tuple(self.schedule))
+        object.__setattr__(self, "groups", tuple(self.groups))
         _require(
             self.policy in SCALING_POLICY_NAMES,
             f"unknown scaling policy {self.policy!r}; "
@@ -495,6 +557,34 @@ class AutoscalerSpec:
                 not self.schedule,
                 f"{self.policy} autoscalers take no schedule (got {self.schedule})",
             )
+        if self.groups:
+            _require(
+                self.policy == "tier_aware",
+                f"groups (multi-tier scaling) needs the tier_aware policy, "
+                f"not {self.policy!r}",
+            )
+            _require(
+                self.group is None,
+                "pass either group or groups, not both",
+            )
+            _require(
+                len(set(self.groups)) == len(self.groups),
+                f"groups must be unique, got {self.groups}",
+            )
+        if self.cost_budget is not None:
+            _require(
+                self.policy == "tier_aware",
+                f"cost_budget applies to the tier_aware policy, "
+                f"not {self.policy!r}",
+            )
+            _require(self.cost_budget > 0, "cost_budget must be positive")
+        if self.horizon_ms is not None:
+            _require(
+                self.policy == "predictive",
+                f"horizon_ms applies to the predictive policy, "
+                f"not {self.policy!r}",
+            )
+            _require(self.horizon_ms >= 0, "horizon_ms must be non-negative")
         # Building the policy validates its knobs at spec time, not at run
         # time; the instance is discarded.
         self.build_policy()
@@ -517,6 +607,20 @@ class AutoscalerSpec:
                 target_utilization=self.target_utilization,
                 deadband=self.deadband,
             )
+        if self.policy == "predictive":
+            return make_policy(
+                "predictive",
+                horizon_ms=self.horizon_ms,
+                target_utilization=self.target_utilization,
+                deadband=self.deadband,
+            )
+        if self.policy == "tier_aware":
+            return make_policy(
+                "tier_aware",
+                max_drop_rate=self.max_drop_rate,
+                max_queue_per_replica=self.max_queue_per_replica,
+                min_utilization=self.min_utilization,
+            )
         return make_policy(
             "scheduled", schedule=self.schedule, period_ms=self.period_ms
         )
@@ -532,6 +636,8 @@ class AutoscalerSpec:
             "up_cooldown_ms": self.up_cooldown_ms,
             "down_cooldown_ms": self.down_cooldown_ms,
             "group": self.group,
+            "groups": list(self.groups),
+            "cost_budget": self.cost_budget,
             "max_drop_rate": self.max_drop_rate,
             "max_queue_per_replica": self.max_queue_per_replica,
             "min_utilization": self.min_utilization,
@@ -539,6 +645,7 @@ class AutoscalerSpec:
             "scale_down_step": self.scale_down_step,
             "target_utilization": self.target_utilization,
             "deadband": self.deadband,
+            "horizon_ms": self.horizon_ms,
             "schedule": [list(entry) for entry in self.schedule],
             "period_ms": self.period_ms,
         }
@@ -547,6 +654,7 @@ class AutoscalerSpec:
     def from_dict(cls, data: Mapping[str, Any]) -> "AutoscalerSpec":
         data = dict(data)
         data["schedule"] = _as_tuple(data.get("schedule", ()))
+        data["groups"] = tuple(data.get("groups", ()))
         return cls(**data)
 
 
@@ -628,16 +736,28 @@ class ScenarioSpec:
             object.__setattr__(self, "policy", Policy(self.policy))
         object.__setattr__(self, "replica_groups", tuple(self.replica_groups))
         _require(bool(self.replica_groups), "a scenario needs at least one replica group")
+        named = [g.name for g in self.replica_groups if g.name is not None]
+        _require(
+            len(set(named)) == len(named),
+            f"replica group names must be unique, got {named}",
+        )
         _require(self.cache_update_period > 0, "cache_update_period must be positive")
         if self.num_queries is not None:
             _require(self.num_queries > 0, "num_queries must be positive")
-        if self.autoscaler is not None and self.autoscaler.group is not None:
+        if self.autoscaler is not None:
             names = [g.name for g in self.replica_groups]
-            _require(
-                self.autoscaler.group in names,
-                f"autoscaler.group {self.autoscaler.group!r} names no replica "
-                f"group (groups: {names})",
-            )
+            if self.autoscaler.group is not None:
+                _require(
+                    self.autoscaler.group in names,
+                    f"autoscaler.group {self.autoscaler.group!r} names no "
+                    f"replica group (groups: {names})",
+                )
+            for name in self.autoscaler.groups:
+                _require(
+                    name in names,
+                    f"autoscaler.groups entry {name!r} names no replica "
+                    f"group (groups: {names})",
+                )
 
     # ------------------------------------------------------------- derived
     @property
@@ -659,18 +779,32 @@ class ScenarioSpec:
     def group_seed(self, group: ReplicaGroupSpec) -> int:
         return group.seed if group.seed is not None else self.seed
 
-    def scaled_group(self) -> ReplicaGroupSpec:
-        """The replica group the autoscaler manages (requires an autoscaler)."""
+    def scaled_groups(self) -> tuple[ReplicaGroupSpec, ...]:
+        """The replica groups the autoscaler manages, in declaration order.
+
+        Multi-tier autoscalers (``autoscaler.groups``) scale several named
+        groups; otherwise the single named ``autoscaler.group`` (or the
+        first group) is scaled.  Requires an autoscaler.
+        """
         if self.autoscaler is None:
             raise ValueError("the scenario has no autoscaler")
+        if self.autoscaler.groups:
+            wanted = set(self.autoscaler.groups)
+            return tuple(g for g in self.replica_groups if g.name in wanted)
         if self.autoscaler.group is None:
-            return self.replica_groups[0]
-        for g in self.replica_groups:
-            if g.name == self.autoscaler.group:
-                return g
-        raise ValueError(  # pragma: no cover - __post_init__ guards this
-            f"autoscaler.group {self.autoscaler.group!r} names no replica group"
+            return (self.replica_groups[0],)
+        return tuple(
+            g for g in self.replica_groups if g.name == self.autoscaler.group
         )
+
+    def scaled_group(self) -> ReplicaGroupSpec:
+        """The single replica group the autoscaler manages."""
+        groups = self.scaled_groups()
+        if len(groups) != 1:
+            raise ValueError(
+                "the autoscaler scales several groups; use scaled_groups()"
+            )
+        return groups[0]
 
     # ---------------------------------------------------------- serialization
     def to_dict(self) -> dict[str, Any]:
@@ -741,3 +875,36 @@ class ScenarioSpec:
         for path, value in overrides:
             _apply_override(data, path, value)
         return type(self).from_dict(data)
+
+
+def scenario_schema() -> dict[str, Any]:
+    """Machine-readable reference of the scenario JSON format.
+
+    Returns the serialized *defaults* of every spec (each key of the
+    ``defaults`` sections is exactly a key of the corresponding JSON
+    object) plus the closed ``enums`` each string field accepts.  This is
+    what ``python -m repro schema`` prints, and what the docs sync test
+    holds ``docs/scenario-schema.md`` against — the prose reference cannot
+    silently drift from the dataclasses.
+    """
+    return {
+        "defaults": {
+            "scenario": ScenarioSpec().to_dict(),
+            "replica_group": ReplicaGroupSpec().to_dict(),
+            "batching": BatchingSpec().to_dict(),
+            "workload": _workload_to_json(WorkloadSpec()),
+            "arrivals": ArrivalSpec(kind="poisson", rate_per_ms=0.1).to_dict(),
+            "autoscaler": AutoscalerSpec().to_dict(),
+        },
+        "enums": {
+            "policy": [p.value for p in Policy],
+            "router": list(ROUTER_NAMES),
+            "admission": list(ADMISSION_NAMES),
+            "replica_groups[].kind": list(BACKEND_KINDS),
+            "replica_groups[].discipline": list(DISCIPLINE_NAMES),
+            "replica_groups[].batching.policy": list(BATCHING_POLICIES),
+            "workload.pattern": list(PATTERNS),
+            "arrivals.kind": list(ARRIVAL_KINDS),
+            "autoscaler.policy": list(SCALING_POLICY_NAMES),
+        },
+    }

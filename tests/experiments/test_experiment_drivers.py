@@ -26,9 +26,10 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_nineteen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 19
+    def test_all_twenty_experiments_registered(self):
+        assert len(EXPERIMENTS) == 20
         assert "frontier_autoscale" in EXPERIMENTS
+        assert "frontier_predictive" in EXPERIMENTS
         assert "batching_sweep" in EXPERIMENTS
 
     def test_get_experiment(self):

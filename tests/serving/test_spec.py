@@ -8,6 +8,7 @@ and run via ``python -m repro serve``.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import numpy as np
@@ -238,6 +239,21 @@ class TestScenarioSpec:
         with pytest.raises(ValueError):
             ScenarioSpec(cache_update_period=0)
 
+    def test_duplicate_group_names_rejected_at_parse(self):
+        # Ambiguous group references must fail when the spec is built, not
+        # deep inside engine construction.
+        with pytest.raises(ValueError, match="unique"):
+            ScenarioSpec(
+                replica_groups=(
+                    ReplicaGroupSpec(name="pool"),
+                    ReplicaGroupSpec(name="pool"),
+                )
+            )
+        # Several unnamed groups stay legal.
+        ScenarioSpec(
+            replica_groups=(ReplicaGroupSpec(), ReplicaGroupSpec(pb_kb=432.0))
+        )
+
     def test_json_text_roundtrip(self):
         spec = ScenarioSpec(name="files")
         assert ScenarioSpec.from_json(spec.to_json()) == spec
@@ -273,6 +289,8 @@ replica_groups = st.builds(
     cache_update_period=st.one_of(st.none(), st.integers(1, 16)),
     seed=st.one_of(st.none(), st.integers(0, 100)),
     discipline=st.sampled_from(["fifo", "edf", "priority_by_slack"]),
+    cost_weight=st.floats(0.1, 8.0, allow_nan=False),
+    startup_delay_ms=st.floats(0.0, 100.0, allow_nan=False),
     name=st.one_of(st.none(), st.text(min_size=1, max_size=8)),
 )
 
@@ -301,6 +319,23 @@ autoscaler_specs = st.one_of(
     ),
     st.builds(
         AutoscalerSpec,
+        policy=st.just("predictive"),
+        control_interval_ms=st.floats(1.0, 100.0),
+        horizon_ms=st.one_of(st.none(), st.floats(0.0, 200.0)),
+        target_utilization=st.floats(0.1, 1.0),
+        deadband=st.floats(0.0, 0.3),
+    ),
+    st.builds(
+        AutoscalerSpec,
+        policy=st.just("tier_aware"),
+        control_interval_ms=st.floats(1.0, 100.0),
+        cost_budget=st.one_of(st.none(), st.floats(1.0, 64.0)),
+        max_drop_rate=st.floats(0.0, 0.5),
+        max_queue_per_replica=st.floats(0.5, 16.0),
+        min_utilization=st.floats(0.0, 1.0),
+    ),
+    st.builds(
+        AutoscalerSpec,
         policy=st.just("scheduled"),
         control_interval_ms=st.floats(1.0, 100.0),
         schedule=st.lists(
@@ -318,7 +353,16 @@ scenario_specs = st.builds(
     supernet_name=st.sampled_from(["ofa_resnet50", "ofa_mobilenetv3"]),
     policy=st.sampled_from(list(Policy)),
     cache_update_period=st.integers(1, 16),
-    replica_groups=st.lists(replica_groups, min_size=1, max_size=3).map(tuple),
+    replica_groups=st.lists(replica_groups, min_size=1, max_size=3).map(
+        # Non-None group names must be unique within a scenario; suffix
+        # duplicates the strategy happens to draw.
+        lambda groups: tuple(
+            g
+            if g.name is None
+            else dataclasses.replace(g, name=f"{g.name}~{i}")
+            for i, g in enumerate(groups)
+        )
+    ),
     router=st.sampled_from(["round_robin", "jsq", "least_loaded"]),
     admission=st.sampled_from(["admit_all", "drop_expired"]),
     workload=st.builds(

@@ -158,6 +158,14 @@ class TestServe:
         assert spec.autoscaler.group == "pool"
         assert spec.arrivals.kind == "time_varying"
 
+    def test_checked_in_predictive_scenario_parses(self):
+        path = REPO_ROOT / "examples" / "scenarios" / "predictive_pool.json"
+        spec = ScenarioSpec.from_json(path.read_text())
+        assert spec.autoscaler is not None
+        assert spec.autoscaler.policy == "predictive"
+        assert spec.replica_groups[0].startup_delay_ms > 0
+        assert spec.arrivals.kind == "time_varying"
+
     def test_policy_switch_overrides_apply_atomically(self, capsys):
         # policy=scheduled and its schedule must land together; per-field
         # validation would reject either one alone.
@@ -210,6 +218,18 @@ class TestServe:
 
 
 class TestModuleEntryPoint:
+    def test_schema_prints_field_reference(self, capsys):
+        assert main(["schema"]) == 0
+        schema = json.loads(capsys.readouterr().out)
+        assert set(schema) == {"defaults", "enums"}
+        scenario = schema["defaults"]["scenario"]
+        # The schema's defaults are exactly the serialized default spec.
+        assert scenario == ScenarioSpec().to_dict()
+        assert "predictive" in schema["enums"]["autoscaler.policy"]
+        assert "tier_aware" in schema["enums"]["autoscaler.policy"]
+        assert "cost_weight" in schema["defaults"]["replica_group"]
+        assert "startup_delay_ms" in schema["defaults"]["replica_group"]
+
     def test_python_dash_m_repro(self):
         proc = subprocess.run(
             [sys.executable, "-m", "repro", "list"],

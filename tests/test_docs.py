@@ -1,0 +1,103 @@
+"""Docs stay in sync with the code: schema reference, links, scenarios.
+
+Three guarantees:
+
+* ``docs/scenario-schema.md`` documents every field and every enum value
+  that :func:`repro.serving.spec.scenario_schema` (the source of truth
+  behind ``python -m repro schema``) exposes — adding a spec field without
+  documenting it fails here.
+* ``docs/experiments.md`` documents every registered experiment id.
+* Relative links in the markdown tree resolve and every checked-in
+  scenario JSON round-trips exactly (shared with CI via
+  ``tools/check_docs.py``).
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.serving.spec import ScenarioSpec, scenario_schema
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCS = REPO_ROOT / "docs"
+
+
+@pytest.fixture(scope="module")
+def schema_doc() -> str:
+    return (DOCS / "scenario-schema.md").read_text(encoding="utf-8")
+
+
+def code_spans(text: str) -> set[str]:
+    return set(re.findall(r"`([^`\n]+)`", text))
+
+
+class TestSchemaDocSync:
+    def test_every_spec_field_documented(self, schema_doc):
+        spans = code_spans(schema_doc)
+        schema = scenario_schema()
+        missing = [
+            f"{section}.{field}"
+            for section, defaults in schema["defaults"].items()
+            for field in defaults
+            if field not in spans
+        ]
+        assert not missing, (
+            "fields missing from docs/scenario-schema.md (document them "
+            f"or python -m repro schema will disagree): {missing}"
+        )
+
+    def test_every_enum_value_documented(self, schema_doc):
+        spans = code_spans(schema_doc)
+        schema = scenario_schema()
+        missing = [
+            f"{field}={value}"
+            for field, values in schema["enums"].items()
+            for value in values
+            if value not in spans
+        ]
+        assert not missing, (
+            f"enum values missing from docs/scenario-schema.md: {missing}"
+        )
+
+    def test_no_phantom_autoscaler_fields_documented(self, schema_doc):
+        """The autoscaler table documents only fields that really exist."""
+        schema = scenario_schema()
+        table = schema_doc.split("## Autoscaler")[1].split("###")[0]
+        documented = {
+            m.group(1)
+            for m in re.finditer(r"^\| `(\w+)` \|", table, flags=re.M)
+        }
+        assert documented == set(schema["defaults"]["autoscaler"])
+
+
+class TestExperimentsDocSync:
+    def test_every_experiment_documented(self):
+        text = (DOCS / "experiments.md").read_text(encoding="utf-8")
+        spans = code_spans(text)
+        missing = sorted(set(EXPERIMENTS) - spans)
+        assert not missing, f"experiments missing from docs/experiments.md: {missing}"
+
+
+class TestCheckDocsTool:
+    def test_check_docs_passes(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "docs OK" in result.stdout
+
+    def test_checked_in_scenarios_roundtrip(self):
+        files = sorted((REPO_ROOT / "examples" / "scenarios").glob("*.json"))
+        assert files
+        for path in files:
+            spec = ScenarioSpec.from_json(path.read_text(encoding="utf-8"))
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec

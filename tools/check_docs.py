@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Docs health check: cross-reference links + scenario JSON round-trips.
+
+Two checks, run by the CI ``docs`` job and the tier-1 docs tests:
+
+1. **Link check** — every relative markdown link in ``README.md``,
+   ``ROADMAP.md`` and ``docs/*.md`` must point at a file that exists
+   (anchors are stripped; external ``http(s)`` links are skipped — the
+   target environment is offline).
+2. **Scenario round-trips** — every ``examples/scenarios/*.json`` must
+   parse into a valid :class:`ScenarioSpec` and survive
+   ``from_dict(to_dict(spec)) == spec`` exactly.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exits non-zero with a per-finding report when anything is broken.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files whose relative links must resolve.
+DOC_FILES = ("README.md", "ROADMAP.md")
+DOC_GLOBS = ("docs/*.md",)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_doc_files() -> list[Path]:
+    files = [REPO_ROOT / name for name in DOC_FILES]
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return [f for f in files if f.exists()]
+
+
+def check_links() -> list[str]:
+    errors = []
+    for doc in iter_doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return errors
+
+
+def check_scenarios() -> list[str]:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.serving.spec import ScenarioSpec
+
+    errors = []
+    scenario_files = sorted((REPO_ROOT / "examples" / "scenarios").glob("*.json"))
+    if not scenario_files:
+        errors.append("no scenario files found under examples/scenarios/")
+    for path in scenario_files:
+        rel = path.relative_to(REPO_ROOT)
+        try:
+            spec = ScenarioSpec.from_json(path.read_text(encoding="utf-8"))
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            errors.append(f"{rel}: does not parse ({exc})")
+            continue
+        back = ScenarioSpec.from_dict(spec.to_dict())
+        if back != spec:
+            errors.append(f"{rel}: to_dict/from_dict round-trip is not exact")
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_scenarios()
+    docs = len(iter_doc_files())
+    if errors:
+        for error in errors:
+            print(f"FAIL {error}")
+        print(f"{len(errors)} problem(s) across {docs} docs")
+        return 1
+    print(f"docs OK: {docs} markdown files link-checked, scenarios round-trip")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
