@@ -12,6 +12,9 @@ Run with::
 
 from __future__ import annotations
 
+import subprocess
+import sys
+
 import pytest
 
 
@@ -28,3 +31,44 @@ def show():
         print("\n" + text)
 
     return _show
+
+
+#: stderr lines matching any of these fragments are shell-environment noise,
+#: not program output.  Conda-based CI images emit activation warnings
+#: ("CondaError: Run 'conda init' ...", "CommandNotFoundError: ...") on every
+#: subprocess that starts a login shell, which used to litter bench logs and
+#: made real warnings easy to miss.
+_STDERR_NOISE_FRAGMENTS = (
+    "CondaError",
+    "CommandNotFoundError",
+    "conda init",
+    "conda activate",
+)
+
+
+@pytest.fixture
+def run_quiet():
+    """Run a subprocess, forwarding stderr with shell-activation noise removed.
+
+    Returns the ``CompletedProcess`` (stdout/stderr captured as text, the
+    filtered stderr re-emitted to this process's stderr).  Benchmarks that
+    shell out — e.g. to ``tools/profile_engine.py`` — use this instead of
+    ``subprocess.run`` directly so conda activation warnings from the CI
+    image's login shell never end up in the bench logs.
+    """
+
+    def _run(argv, **kwargs):
+        kwargs.setdefault("capture_output", True)
+        kwargs.setdefault("text", True)
+        proc = subprocess.run(argv, **kwargs)
+        if proc.stderr:
+            kept = [
+                line
+                for line in proc.stderr.splitlines()
+                if not any(f in line for f in _STDERR_NOISE_FRAGMENTS)
+            ]
+            if kept:
+                print("\n".join(kept), file=sys.stderr)
+        return proc
+
+    return _run

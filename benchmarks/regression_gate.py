@@ -1,22 +1,37 @@
-"""Throughput regression gate for the batching benchmark.
+"""Throughput regression gate for the benchmark baselines.
 
-Compares a freshly produced metrics JSON (written by
-``benchmarks/test_bench_batching.py``) against the committed
-``BENCH_batching.json`` baseline and fails when any higher-is-better
-throughput metric regressed by more than the tolerance (default 20%).
+Compares a freshly produced metrics JSON against the matching committed
+baseline and fails when any gated metric regressed by more than the
+tolerance (default 20%).  ``--kind`` selects the metric set:
 
-The gated quantities are *simulation outcomes* — goodput, throughput, SLO
-attainment and the B=8/B=1 goodput gain — which are deterministic for a
-fixed seed, so the gate is immune to CI runner noise; a >20% drop can only
-come from a behavioral change in the serving stack.  Cache-load counts are
-gated in the other direction: the batched cell must not load *more* than
-the baseline allows.
+``batching`` (default)
+    Fresh JSON from ``benchmarks/test_bench_batching.py`` vs the committed
+    ``BENCH_batching.json``.  The gated quantities are *simulation
+    outcomes* — goodput, throughput, SLO attainment and the B=8/B=1
+    goodput gain — which are deterministic for a fixed seed, so the gate
+    is immune to CI runner noise; a >20% drop can only come from a
+    behavioral change in the serving stack.  Cache-load counts are gated
+    in the other direction: the batched cell must not load *more* than
+    the baseline allows.
+
+``engine``
+    Fresh JSON from ``benchmarks/test_bench_engine.py`` vs the committed
+    ``BENCH_engine.json``.  These are *wall-clock* queries/sec of the
+    engine's fast/sharded execution strategies, so CI passes a wide
+    tolerance (runner speed varies); the ``fast_speedup`` ratio is the
+    stable signal — both loops run on the same machine, so a drop means
+    the fast path itself got slower relative to the reference loop.
+    Only the 10k/1M tiers are gated: the 10M tier is nightly-only and
+    absent from PR-produced fresh JSONs.
 
 Usage::
 
     python benchmarks/regression_gate.py \
         benchmarks/BENCH_batching.json benchmark-batching-fresh.json \
         [--tolerance 0.20]
+    python benchmarks/regression_gate.py --kind engine \
+        benchmarks/BENCH_engine.json benchmark-engine-fresh.json \
+        --tolerance 0.5
 """
 
 from __future__ import annotations
@@ -28,15 +43,24 @@ import sys
 #: (path into the JSON, metric direction). ``higher``: fresh must reach
 #: baseline * (1 - tolerance). ``lower``: fresh must stay under
 #: baseline * (1 + tolerance).
-GATED_METRICS: tuple[tuple[tuple[str, ...], str], ...] = (
-    (("B1", "goodput_per_ms"), "higher"),
-    (("B1", "throughput_per_ms"), "higher"),
-    (("B8", "goodput_per_ms"), "higher"),
-    (("B8", "throughput_per_ms"), "higher"),
-    (("B8", "mean_batch_occupancy"), "higher"),
-    (("goodput_gain",), "higher"),
-    (("B8", "cache_loads"), "lower"),
-)
+GATED_METRICS: dict[str, tuple[tuple[tuple[str, ...], str], ...]] = {
+    "batching": (
+        (("B1", "goodput_per_ms"), "higher"),
+        (("B1", "throughput_per_ms"), "higher"),
+        (("B8", "goodput_per_ms"), "higher"),
+        (("B8", "throughput_per_ms"), "higher"),
+        (("B8", "mean_batch_occupancy"), "higher"),
+        (("goodput_gain",), "higher"),
+        (("B8", "cache_loads"), "lower"),
+    ),
+    "engine": (
+        (("q10k", "fast_qps"), "higher"),
+        (("q1m", "reference_qps"), "higher"),
+        (("q1m", "fast_qps"), "higher"),
+        (("q1m", "shard_qps"), "higher"),
+        (("q1m", "fast_speedup"), "higher"),
+    ),
+}
 
 
 def _lookup(data: dict, path: tuple[str, ...]) -> float:
@@ -46,10 +70,10 @@ def _lookup(data: dict, path: tuple[str, ...]) -> float:
     return float(node)
 
 
-def check(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+def check(baseline: dict, fresh: dict, tolerance: float, kind: str = "batching") -> list[str]:
     """Violation messages (empty when every gated metric is within bounds)."""
     violations = []
-    for path, direction in GATED_METRICS:
+    for path, direction in GATED_METRICS[kind]:
         label = ".".join(path)
         try:
             base = _lookup(baseline, path)
@@ -76,8 +100,14 @@ def check(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_batching.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("fresh", help="freshly produced metrics JSON")
+    parser.add_argument(
+        "--kind",
+        choices=sorted(GATED_METRICS),
+        default="batching",
+        help="which benchmark's metric set to gate (default: batching)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -89,7 +119,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline = json.load(fh)
     with open(args.fresh, encoding="utf-8") as fh:
         fresh = json.load(fh)
-    violations = check(baseline, fresh, args.tolerance)
+    violations = check(baseline, fresh, args.tolerance, args.kind)
     if violations:
         print("throughput regression gate FAILED:", file=sys.stderr)
         for v in violations:
@@ -97,7 +127,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"throughput regression gate passed "
-        f"({len(GATED_METRICS)} metrics within {args.tolerance:.0%})"
+        f"({len(GATED_METRICS[args.kind])} {args.kind} metrics "
+        f"within {args.tolerance:.0%})"
     )
     return 0
 

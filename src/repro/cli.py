@@ -17,7 +17,9 @@ result summary.  ``--dump-spec`` echoes the effective spec after overrides,
 so a tweaked scenario can be piped back into a file.  ``run --json FILE``
 additionally dumps the experiment result as JSON (drivers may provide a
 curated ``to_jsonable``; anything else is converted field by field) — CI
-uploads these as workflow artifacts.  ``schema`` prints the scenario JSON
+uploads these as workflow artifacts.  ``run --profile FILE`` wraps the run
+in cProfile, dumps the pstats data to ``FILE`` and prints the top 10
+functions by cumulative time.  ``schema`` prints the scenario JSON
 reference — every field's default and every closed enum — straight from the
 dataclasses (:func:`repro.serving.spec.scenario_schema`), so it can never
 drift from the code; the prose companion is ``docs/scenario-schema.md``.
@@ -88,8 +90,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    result = experiment.run()
-    print(experiment.report(result))
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = experiment.run()
+        finally:
+            profiler.disable()
+        try:
+            profiler.dump_stats(args.profile)
+        except OSError as exc:
+            print(f"cannot write {args.profile}: {exc}", file=sys.stderr)
+            return 2
+        print(experiment.report(result))
+        print(f"\nprofile written to {args.profile}; top 10 by cumulative time:")
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats(
+            "cumulative"
+        ).print_stats(10)
+    else:
+        result = experiment.run()
+        print(experiment.report(result))
     if args.json:
         # Drivers may provide a curated dump; anything else is converted
         # field by field (CI uploads these files as workflow artifacts).
@@ -155,6 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="FILE",
         help="additionally dump the experiment result as JSON to FILE",
+    )
+    run_p.add_argument(
+        "--profile",
+        metavar="FILE",
+        help=(
+            "profile the run with cProfile: dump pstats data to FILE and "
+            "print the top 10 functions by cumulative time"
+        ),
     )
     run_p.set_defaults(func=_cmd_run)
 

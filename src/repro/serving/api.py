@@ -50,7 +50,7 @@ from repro.serving.engine import (
     ServingEngine,
     SimulationResult,
 )
-from repro.serving.query import QueryTrace
+from repro.serving.query import ArrayQueryTrace, QueryTrace
 from repro.serving.spec import ReplicaGroupSpec, ScenarioSpec
 from repro.serving.stack import SushiStack, SushiStackConfig
 from repro.serving.workload import (
@@ -140,13 +140,18 @@ def _group_ranges(
 
 def build_trace(
     spec: ScenarioSpec, *, stack_cache: StackCache | None = None
-) -> QueryTrace:
+) -> QueryTrace | ArrayQueryTrace:
     """The scenario's query trace, with deferred constraint ranges resolved.
 
     ``None`` ranges in the workload spec resolve to the feasible ranges of
     the scenario's *first* replica group (its latency table for SUSHI-like
     backends, static profiles otherwise), so generated constraints are
     always meaningful for the family being served.
+
+    Fast-path scenarios (``fast_path`` / ``shard``) get the array-backed
+    trace: the same vectorized constraint draws, kept in numpy buffers with
+    ``Query`` objects materialized lazily at dispatch.  The two forms are
+    bit-identical query for query.
     """
     if stack_cache is None:
         stack_cache = {}
@@ -160,7 +165,10 @@ def build_trace(
             accuracy_range=workload.accuracy_range or acc_range,
             latency_range_ms=workload.latency_range_ms or lat_range,
         )
-    return WorkloadGenerator(workload, seed=spec.seed).generate(name=spec.name)
+    generator = WorkloadGenerator(workload, seed=spec.seed)
+    if spec.fast_path or spec.shard:
+        return generator.generate_array_trace(name=spec.name)
+    return generator.generate(name=spec.name)
 
 
 def _server_builder(
@@ -343,6 +351,9 @@ def run_scenario(
         trace,
         arrivals,
         arrival_rate_per_ms=spec.arrivals.nominal_rate_per_ms(),
+        fast_path=spec.fast_path,
+        shard=spec.shard,
+        shard_workers=spec.shard_workers,
     )
 
 

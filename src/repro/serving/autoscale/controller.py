@@ -70,7 +70,7 @@ class ScaledGroup:
             raise ValueError("max_replicas must be >= min_replicas")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupLoad:
     """Instantaneous pool state of one scaled group (engine-provided)."""
 
@@ -85,7 +85,7 @@ class GroupLoad:
         return self.num_active + self.num_provisioning
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScalingEvent:
     """One enacted (or attempted) scaling decision."""
 

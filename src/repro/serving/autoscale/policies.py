@@ -56,7 +56,7 @@ from typing import Sequence
 from repro.serving.autoscale.telemetry import MetricsSnapshot
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupStatus:
     """One scaled replica group as a policy sees it at a control tick.
 

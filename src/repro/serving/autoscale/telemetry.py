@@ -34,7 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MetricsSnapshot:
     """Sliding-window metrics handed to a scaling policy at a control tick.
 
@@ -134,6 +134,14 @@ class TelemetryBus:
         self._services: deque[tuple[float, float]] = deque()  # (start, end)
         self._batches: deque[tuple[float, int]] = deque()  # (time, batch size)
         self._in_service_starts: dict[int, float] = {}  # replica idx -> start
+        # Bound-method hoists for the per-event feed: the engine calls these
+        # once per data-plane event, and reset() clears the deques in place,
+        # so the binds stay valid for the bus's whole life.
+        self._arrival_append = self._arrivals.append
+        self._drop_append = self._drops.append
+        self._wait_append = self._waits.append
+        self._service_append = self._services.append
+        self._batch_append = self._batches.append
         self.total_arrivals = 0
         self.total_dispatches = 0
         self.total_completions = 0
@@ -142,11 +150,11 @@ class TelemetryBus:
 
     # ------------------------------------------------------------ event feed
     def on_arrival(self, now_ms: float) -> None:
-        self._arrivals.append(now_ms)
+        self._arrival_append(now_ms)
         self.total_arrivals += 1
 
     def on_dispatch(self, now_ms: float, *, replica_index: int, wait_ms: float) -> None:
-        self._waits.append((now_ms, wait_ms))
+        self._wait_append((now_ms, wait_ms))
         self._in_service_starts[replica_index] = now_ms
         self.total_dispatches += 1
 
@@ -154,16 +162,16 @@ class TelemetryBus:
         self, now_ms: float, *, replica_index: int, service_ms: float
     ) -> None:
         start = self._in_service_starts.pop(replica_index, now_ms - service_ms)
-        self._services.append((start, now_ms))
+        self._service_append((start, now_ms))
         self.total_completions += 1
 
     def on_drop(self, now_ms: float) -> None:
-        self._drops.append(now_ms)
+        self._drop_append(now_ms)
         self.total_drops += 1
 
     def on_batch(self, now_ms: float, *, batch_size: int) -> None:
         """One dispatch pickup of ``batch_size`` queries (1 without batching)."""
-        self._batches.append((now_ms, batch_size))
+        self._batch_append((now_ms, batch_size))
         self.total_batches += 1
 
     # ------------------------------------------------------------- snapshot

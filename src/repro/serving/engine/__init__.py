@@ -39,7 +39,7 @@ from repro.serving.engine.disciplines import (
     SlackPriorityQueue,
     make_discipline,
 )
-from repro.serving.engine.events import Event, EventHeap, EventKind
+from repro.serving.engine.events import ArrayEventQueue, Event, EventHeap, EventKind
 from repro.serving.engine.replica import (
     AcceleratorReplica,
     PrecomputedServer,
@@ -63,6 +63,7 @@ from repro.serving.engine.routing import (
 __all__ = [
     "AcceleratorReplica",
     "AdmissionPolicy",
+    "ArrayEventQueue",
     "AdmitAll",
     "DropExpired",
     "DroppedQuery",

@@ -38,26 +38,30 @@ Invariants the rest of the system builds on:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import replace
-from typing import Mapping, Sequence
+from operator import attrgetter
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.serving.autoscale.controller import AutoscaleController, GroupLoad
 from repro.serving.engine.admission import AdmissionPolicy, make_admission
 from repro.serving.engine.disciplines import QueueDiscipline, QueuedQuery
-from repro.serving.engine.events import Event, EventHeap, EventKind
+from repro.serving.engine.events import ArrayEventQueue, Event, EventHeap, EventKind
 from repro.serving.engine.replica import AcceleratorReplica, _InService
 from repro.serving.engine.results import (
     DroppedQuery,
     SimulatedQueryOutcome,
     SimulationResult,
 )
-from repro.serving.engine.routing import RoutingPolicy, make_router
-from repro.serving.query import QueryTrace
+from repro.serving.engine.routing import RoundRobinRouter, RoutingPolicy, make_router
+from repro.serving.query import Query, QueryTrace
 
 _MIN_EFFECTIVE_LATENCY_MS = 1e-9
 """Floor for the remaining-slack latency budget passed to schedulers."""
+
+_by_query_index = attrgetter("query_index")
 
 
 def poisson_arrivals(
@@ -70,6 +74,453 @@ def poisson_arrivals(
         raise ValueError("rate_per_ms must be positive")
     gaps = rng.exponential(scale=1.0 / rate_per_ms, size=num_queries)
     return np.cumsum(gaps)
+
+
+# --------------------------------------------------------------- fast path
+#
+# The helpers below are module-level (not methods) for two reasons: the fast
+# event loop closes over plain locals instead of ``self`` attribute chains,
+# and sharded simulation ships them to worker processes, which requires
+# picklable, engine-free entry points.
+
+
+def _query_getter(trace) -> Callable[[int], Query]:
+    """Positional query accessor for eager and array-backed traces."""
+    queries = getattr(trace, "queries", None)
+    if queries is not None:
+        return queries.__getitem__
+    return trace.query_at
+
+
+def _drop_item(
+    item: QueuedQuery, replica: AcceleratorReplica, now: float
+) -> DroppedQuery:
+    replica.stats.num_dropped += 1
+    return DroppedQuery(
+        query_index=item.query.index,
+        arrival_ms=item.arrival_ms,
+        dropped_at_ms=now,
+        latency_constraint_ms=item.query.latency_constraint_ms,
+        replica_index=replica.index,
+    )
+
+
+def _stamp_record(record, ridx: int):
+    """``replace(record, replica_index=ridx)`` without per-call dataclass
+    introspection (``dataclasses.replace`` is the reference dispatch's top
+    hotspot).  Value-equal to ``replace``: dataclass equality compares
+    fields, and records are valid by construction, so skipping re-validation
+    changes no observable bit.  Falls back to ``replace`` for slotted or
+    otherwise ``__dict__``-less record types.
+    """
+    cls = record.__class__
+    try:
+        fields = record.__dict__
+    except AttributeError:  # pragma: no cover - exotic record types
+        return replace(record, replica_index=ridx)
+    clone = cls.__new__(cls)
+    d = clone.__dict__
+    d.update(fields)
+    d["replica_index"] = ridx
+    return clone
+
+
+class _BusyToken:
+    """Stand-in for ``replica.in_service`` on the fast single-query path.
+
+    The fast loop carries a single dispatch's (item, record, start, service)
+    in its completion-heap entry instead of allocating an
+    :class:`~repro.serving.engine.replica._InService` per dispatch; load
+    views only need *that* the replica is busy and the in-flight count (1),
+    which this shared singleton provides via a class attribute.
+    """
+
+    __slots__ = ()
+
+    size = 1
+
+
+_FAST_BUSY = _BusyToken()
+
+
+def _serve_pickup(
+    replica: AcceleratorReplica,
+    now: float,
+    dropped: list[DroppedQuery],
+    *,
+    admission: AdmissionPolicy,
+    dts: bool,
+    bus,
+) -> float | None:
+    """Pull the replica's next admissible batch and start serving it.
+
+    The body of the reference dispatch, minus event scheduling: returns the
+    pickup's completion time (``None`` when the queue yields no admissible
+    batch) and leaves scheduling of the COMPLETION to the caller, so the
+    reference heap loop and the fast loop share one serving semantics.
+
+    With ``max_batch=1`` (the default) this is the pre-batching dispatch:
+    one pop, one admission check, one ``serve_query`` — record-identical to
+    the seed path.  With batching, up to ``max_batch`` admissible queries
+    leave the queue in one pickup and are served as a unit: under
+    ``shared_subnet`` the backend makes a single shared SubNet decision and
+    one accelerator evaluation for the whole batch; under ``per_query`` (and
+    for backends without ``serve_dispatch_batch``) members keep their own
+    decisions and run back to back.
+
+    Records are stamped with the replica index *here*, at dispatch, so
+    completion is allocation-free.
+    """
+    batch, shed = replica.pop_batch(replica.max_batch, now_ms=now, admission=admission)
+    for item in shed:
+        dropped.append(_drop_item(item, replica, now))
+        if bus is not None:
+            bus.on_drop(now)
+    if not batch:
+        return None
+
+    ridx = replica.index
+    size = len(batch)
+    batch_serve = (
+        getattr(replica.server, "serve_dispatch_batch", None)
+        if size > 1 and replica.batch_policy == "shared_subnet"
+        else None
+    )
+    if batch_serve is None:
+        # One decision and one evaluation per member, back to back in a
+        # single pickup (size == 1 is exactly the seed dispatch).  Each
+        # member's remaining budget and admission are evaluated at its
+        # *actual* start — the prior members' service time has already
+        # eaten into its slack, exactly as the seed loop would see it.
+        serve = replica.server.serve_query
+        admit = admission.admit
+        records: list = []
+        started: list = []
+        starts: list[float] = []
+        services: list[float] = []
+        t = now
+        for item in batch:
+            if t > now and not admit(item, t):
+                # The deadline expired while earlier members ran.
+                dropped.append(_drop_item(item, replica, t))
+                if bus is not None:
+                    bus.on_drop(t)
+                continue
+            effective: float | None = None
+            if dts:
+                remaining = item.query.latency_constraint_ms - (t - item.arrival_ms)
+                effective = (
+                    remaining
+                    if remaining > _MIN_EFFECTIVE_LATENCY_MS
+                    else _MIN_EFFECTIVE_LATENCY_MS
+                )
+            record = serve(item.query, effective_latency_constraint_ms=effective)
+            if record.replica_index != ridx:
+                record = replace(record, replica_index=ridx)
+            service = float(record.served_latency_ms)
+            records.append(record)
+            started.append(item)
+            starts.append(t)
+            services.append(service)
+            t += service
+        # The first member is admitted at t == now, so the pickup always
+        # serves at least one query; later members may have been shed.
+        batch = started
+        size = len(batch)
+        # Summed (not t - now) so a one-query batch is bit-identical to
+        # the seed's per-query busy accounting.
+        total = sum(services)
+        completion_ms = t
+    else:
+        # One shared SubNet decision, one accelerator evaluation, at
+        # most one cache load for the whole batch; members complete
+        # together after the batch evaluation.
+        effective_batch: list[float] | None = None
+        if dts:
+            effective_batch = [
+                max(
+                    item.query.latency_constraint_ms - (now - item.arrival_ms),
+                    _MIN_EFFECTIVE_LATENCY_MS,
+                )
+                for item in batch
+            ]
+        records = [
+            r if r.replica_index == ridx else replace(r, replica_index=ridx)
+            for r in batch_serve(
+                [item.query for item in batch],
+                effective_latency_constraints_ms=effective_batch,
+            )
+        ]
+        total = max(float(r.served_latency_ms) for r in records)
+        starts = [now] * size
+        services = [total] * size
+        completion_ms = now + total
+
+    replica.in_service = _InService(
+        items=tuple(batch),
+        records=tuple(records),
+        starts=tuple(starts),
+        services=tuple(services),
+        total_ms=total,
+    )
+    replica.busy_until_ms = completion_ms
+    replica.stats.num_batches += 1
+    if bus is not None:
+        bus.on_batch(now, batch_size=size)
+        on_dispatch = bus.on_dispatch
+        for item in batch:
+            on_dispatch(now, replica_index=ridx, wait_ms=now - item.arrival_ms)
+    return completion_ms
+
+
+def _complete_inservice(
+    replica: AcceleratorReplica, outcomes: list[SimulatedQueryOutcome]
+) -> None:
+    """Emit outcomes and stats for the replica's finished pickup."""
+    current = replica.in_service
+    if current is None:  # pragma: no cover - engine invariant
+        raise RuntimeError(f"{replica.name} completed with nothing in service")
+    ridx = replica.index
+    stats = replica.stats
+    size = current.size
+    append = outcomes.append
+    for item, record, start, service in zip(
+        current.items, current.records, current.starts, current.services
+    ):
+        # Records were stamped with the replica index at dispatch, so
+        # completion allocates nothing beyond the outcome itself.
+        append(
+            SimulatedQueryOutcome(
+                query_index=item.query.index,
+                arrival_ms=item.arrival_ms,
+                start_ms=start,
+                service_ms=service,
+                latency_constraint_ms=item.query.latency_constraint_ms,
+                served_accuracy=record.served_accuracy,
+                replica_index=ridx,
+                record=record,
+                batch_size=size,
+            )
+        )
+        stats.queueing_ms_total += start - item.arrival_ms
+    stats.num_served += size
+    stats.busy_ms += current.total_ms
+    replica.in_service = None
+
+
+def _fast_drain(
+    replicas: Sequence[AcceleratorReplica],
+    router_select,
+    admission: AdmissionPolicy,
+    dts: bool,
+    needs_estimates: bool,
+    get_query: Callable[[int], Query],
+    arr_list: Sequence[float],
+    *,
+    seqs: Sequence[int] | None = None,
+    fixed_replica: AcceleratorReplica | None = None,
+) -> tuple[list[SimulatedQueryOutcome], list[DroppedQuery], float]:
+    """The static-pool fast event loop (no autoscaler).
+
+    Replaces the Event/EventHeap machinery with a cursor over the (already
+    time-sorted) arrival buffer and a raw-tuple heap holding only pending
+    completions, and inlines the ``max_batch == 1`` dispatch — no
+    ``pop_batch`` list churn, no per-dispatch ``_InService``, no per-event
+    ``Event``.  Every simulated decision — admission at pop and at dispatch,
+    remaining-budget floors, record stamping, stats accounting, timestamp
+    tie-breaks (completions before arrivals, then insertion order) — replays
+    the reference ``_drain``/``_dispatch``/``_complete`` path operation for
+    operation, so outcomes, drops, per-replica stats and the run end are
+    bit-identical to it (property-tested in the test suite).
+
+    ``fixed_replica`` pins every arrival to one replica and skips routing
+    (sharded mode; ``router_select`` is ignored), and ``seqs`` then supplies
+    the *global* arrival index per buffer position so queue tie-breaks and
+    query lookups use the unsharded stream's numbering.  Returns
+    ``(outcomes, dropped, run_end_ms)``; outcomes and drops are unsorted.
+    """
+    outcomes: list[SimulatedQueryOutcome] = []
+    dropped: list[DroppedQuery] = []
+    admit = admission.admit
+    min_eff = _MIN_EFFECTIVE_LATENCY_MS
+    # Entries: (completion_ms, tie, replica_index, payload) where payload is
+    # the single dispatch's (item, record, start_ms, service_ms), or None
+    # for a batched pickup parked in replica.in_service.  The tie counter
+    # reproduces the reference heap's insertion-order tie-break and keeps
+    # payloads out of tuple comparison.
+    heap: list[tuple[float, int, int, tuple | None]] = []
+    heappush_ = heapq.heappush
+    heappop_ = heapq.heappop
+    out_append = outcomes.append
+    drop_append = dropped.append
+    out_new = SimulatedQueryOutcome.__new__
+    tie = 0
+
+    def serve_one(replica: AcceleratorReplica, item: QueuedQuery, now: float) -> None:
+        # The inlined max_batch == 1 pickup; ``item`` is already admitted.
+        nonlocal tie
+        query = item.query
+        if dts:
+            remaining = query.latency_constraint_ms - (now - item.arrival_ms)
+            effective = remaining if remaining > min_eff else min_eff
+        else:
+            effective = None
+        record = replica.server.serve_query(
+            query, effective_latency_constraint_ms=effective
+        )
+        ridx = replica.index
+        if record.replica_index != ridx:
+            record = _stamp_record(record, ridx)
+        service = float(record.served_latency_ms)
+        completion = now + service
+        replica.in_service = _FAST_BUSY
+        replica.busy_until_ms = completion
+        replica.stats.num_batches += 1
+        heappush_(heap, (completion, tie, ridx, (item, record, now, service)))
+        tie += 1
+
+    def dispatch(replica: AcceleratorReplica, now: float) -> None:
+        # The replica just went idle: pull its next pickup, if any.
+        nonlocal tie
+        if replica.max_batch == 1:
+            stats = replica.stats
+            pop_next = replica.pop_next
+            item = pop_next()
+            while item is not None and not admit(item, now):
+                stats.num_dropped += 1
+                drop_append(
+                    DroppedQuery(
+                        query_index=item.query.index,
+                        arrival_ms=item.arrival_ms,
+                        dropped_at_ms=now,
+                        latency_constraint_ms=item.query.latency_constraint_ms,
+                        replica_index=replica.index,
+                    )
+                )
+                item = pop_next()
+            if item is not None:
+                serve_one(replica, item, now)
+        else:
+            completion = _serve_pickup(
+                replica, now, dropped, admission=admission, dts=dts, bus=None
+            )
+            if completion is not None:
+                heappush_(heap, (completion, tie, replica.index, None))
+                tie += 1
+
+    # An idle replica with an empty queue can serve an admitted arrival
+    # directly, skipping the enqueue/pop round-trip.  Gated off when service
+    # estimates ride on the items: the estimate's float would otherwise
+    # enter and leave the discipline's queued-work accumulator, whose exact
+    # bits load-aware routers read on later arrivals.
+    direct_serve = not needs_estimates
+    num_arrivals = len(arr_list)
+    run_end = 0.0
+    i = 0
+    infinity = float("inf")
+    next_arrival = arr_list[0] if num_arrivals else infinity
+    while True:
+        if heap and heap[0][0] <= next_arrival:
+            # Completions at an arrival's exact timestamp run first
+            # (EventKind.COMPLETION < ARRIVAL), matching the reference heap.
+            entry = heappop_(heap)
+            now = entry[0]
+            run_end = now
+            # entry[2] is the replica's engine-wide index; in sharded mode
+            # the (single) replica's index does not address ``replicas``.
+            replica = (
+                fixed_replica if fixed_replica is not None else replicas[entry[2]]
+            )
+            payload = entry[3]
+            if payload is None:
+                _complete_inservice(replica, outcomes)
+            else:
+                item, record, start, service = payload
+                query = item.query
+                # Built via __dict__ fill: a frozen dataclass __init__ pays
+                # one object.__setattr__ per field, and one outcome exists
+                # per served query.  Value-identical to the keyword
+                # construction in _complete_inservice.
+                outcome = out_new(SimulatedQueryOutcome)
+                d = outcome.__dict__
+                d["query_index"] = query.index
+                d["arrival_ms"] = item.arrival_ms
+                d["start_ms"] = start
+                d["service_ms"] = service
+                d["latency_constraint_ms"] = query.latency_constraint_ms
+                d["served_accuracy"] = record.served_accuracy
+                d["replica_index"] = entry[2]
+                d["record"] = record
+                d["batch_size"] = 1
+                out_append(outcome)
+                stats = replica.stats
+                stats.queueing_ms_total += start - item.arrival_ms
+                stats.num_served += 1
+                stats.busy_ms += service
+                replica.in_service = None
+            # pop_next/pop_batch on an empty queue is a guaranteed no-op;
+            # one len() dodges that call chain on every idle completion.
+            if len(replica.queue):
+                dispatch(replica, now)
+            continue
+        if i >= num_arrivals:
+            break
+        now = next_arrival
+        position = i
+        i += 1
+        next_arrival = arr_list[i] if i < num_arrivals else infinity
+        run_end = now
+        seq = position if seqs is None else seqs[position]
+        query = get_query(seq)
+        item = QueuedQuery(query=query, arrival_ms=now, seq=seq)
+        if fixed_replica is not None:
+            replica = fixed_replica
+        else:
+            replica = replicas[router_select(replicas, item, now)]
+        if replica.in_service is None and direct_serve and not len(replica.queue):
+            if admit(item, now):
+                serve_one(replica, item, now)
+            else:
+                replica.stats.num_dropped += 1
+                drop_append(
+                    DroppedQuery(
+                        query_index=query.index,
+                        arrival_ms=now,
+                        dropped_at_ms=now,
+                        latency_constraint_ms=query.latency_constraint_ms,
+                        replica_index=replica.index,
+                    )
+                )
+            continue
+        if needs_estimates:
+            # Replica-specific, attached after routing — see _drain.
+            item = QueuedQuery(
+                query=query,
+                arrival_ms=now,
+                seq=seq,
+                service_estimate_ms=float(replica.service_estimator(query)),
+            )
+        replica.enqueue(item)
+        if replica.in_service is None:
+            dispatch(replica, now)
+    return outcomes, dropped, run_end
+
+
+def _shard_worker(payload):
+    """Simulate one shard in a worker process (picklable in, picklable out)."""
+    replica, admission, dts, needs_estimates, trace, sub_arr, seqs = payload
+    outcomes, dropped, run_end = _fast_drain(
+        [replica],
+        None,
+        admission,
+        dts,
+        needs_estimates,
+        _query_getter(trace),
+        sub_arr,
+        seqs=seqs,
+        fixed_replica=replica,
+    )
+    return outcomes, dropped, replica.stats, replica.busy_until_ms, run_end
 
 
 class ServingEngine:
@@ -280,8 +731,21 @@ class ServingEngine:
         *,
         arrival_rate_per_ms: float | None = None,
         reset: bool = True,
+        fast_path: bool = False,
+        shard: bool = False,
+        shard_workers: int | None = None,
     ) -> SimulationResult:
-        """Simulate ``trace`` with explicit per-query arrival times."""
+        """Simulate ``trace`` with explicit per-query arrival times.
+
+        ``fast_path`` swaps the Event/EventHeap loop for the cursor-based
+        fast loop (:func:`_fast_drain`; with an autoscaler, the
+        :class:`ArrayEventQueue` mirror :meth:`_drain_array`).  ``shard``
+        simulates each replica independently — requires round-robin routing
+        and no autoscaler, see :meth:`_run_sharded` — optionally across
+        ``shard_workers`` processes.  All three are pure execution
+        strategies: results and per-replica stats are bit-identical to the
+        reference loop (``shard`` implies the fast loop per shard).
+        """
         arrivals = np.asarray(arrivals, dtype=np.float64)
         if arrivals.shape != (len(trace),):
             raise ValueError(
@@ -290,14 +754,32 @@ class ServingEngine:
             )
         if reset:
             self.reset()
-        heap = EventHeap()
-        for query, arrival in zip(trace, arrivals):
-            heap.push(Event(float(arrival), EventKind.ARRIVAL, query))
-        if self.autoscaler is not None:
-            heap.push(
-                Event(self.autoscaler.control_interval_ms, EventKind.CONTROL, None)
+        if shard:
+            outcomes, dropped = self._run_sharded(trace, arrivals, shard_workers)
+        elif fast_path and self.autoscaler is None:
+            outcomes, dropped, run_end = _fast_drain(
+                self.replicas,
+                self.router.select,
+                self.admission,
+                self.dispatch_time_scheduling,
+                self._needs_estimates,
+                _query_getter(trace),
+                arrivals.tolist(),
             )
-        outcomes, dropped = self._drain(heap)
+            self._run_end_ms = run_end
+            outcomes.sort(key=_by_query_index)
+            dropped.sort(key=_by_query_index)
+        elif fast_path:
+            outcomes, dropped = self._drain_array(trace, arrivals)
+        else:
+            heap = EventHeap()
+            for query, arrival in zip(trace, arrivals):
+                heap.push(Event(float(arrival), EventKind.ARRIVAL, query))
+            if self.autoscaler is not None:
+                heap.push(
+                    Event(self.autoscaler.control_interval_ms, EventKind.CONTROL, None)
+                )
+            outcomes, dropped = self._drain(heap)
         return self._build_result(
             outcomes, dropped, arrival_rate_per_ms=arrival_rate_per_ms
         )
@@ -439,12 +921,185 @@ class ServingEngine:
                     replica.finish_provisioning()
             else:  # CONTROL
                 self._control(now, heap)
-        outcomes.sort(key=lambda o: o.query_index)
-        dropped.sort(key=lambda d: d.query_index)
+        outcomes.sort(key=_by_query_index)
+        dropped.sort(key=_by_query_index)
         return outcomes, dropped
 
+    def _drain_array(
+        self, trace, arrivals: np.ndarray
+    ) -> tuple[list[SimulatedQueryOutcome], list[DroppedQuery]]:
+        """The fast path with an autoscaler: cursor arrivals, heaped dynamics.
+
+        Mirrors :meth:`_drain` event for event — same handlers, same
+        telemetry feed, same timestamp tie-breaks (enforced by
+        :class:`ArrayEventQueue`) — but arrivals never become ``Event``
+        objects and queries materialize lazily, so the per-arrival constant
+        factor drops while scaling decisions stay bit-identical.
+        """
+        outcomes: list[SimulatedQueryOutcome] = []
+        dropped: list[DroppedQuery] = []
+        bus = None if self.autoscaler is None else self.autoscaler.bus
+        router_select = self.router.select
+        needs_estimates = self._needs_estimates
+        scalable = self._scalable_set
+        get_query = _query_getter(trace)
+        queue = ArrayEventQueue(arrivals.tolist())
+        if self.autoscaler is not None:
+            queue.push(
+                Event(self.autoscaler.control_interval_ms, EventKind.CONTROL, None)
+            )
+        queue_pop = queue.pop
+        ARRIVAL, COMPLETION, PROVISIONING = (
+            int(EventKind.ARRIVAL),
+            int(EventKind.COMPLETION),
+            int(EventKind.PROVISIONING),
+        )
+        while queue:
+            now, kind, payload = queue_pop()
+            if kind == ARRIVAL or kind == COMPLETION:
+                # Only data-plane events define the run's duration (see
+                # _drain).
+                self._run_end_ms = now
+            if kind == ARRIVAL:
+                # The payload is the arrival index, which doubles as the
+                # queue-entry sequence number: the cursor yields arrivals in
+                # buffer order, exactly the reference loop's seq counter.
+                query = get_query(payload)
+                item = QueuedQuery(query=query, arrival_ms=now, seq=payload)
+                candidates = self._routable()
+                ridx = router_select(candidates, item, now)
+                replica = candidates[ridx]
+                if bus is not None and replica.index in scalable:
+                    bus.on_arrival(now)
+                if needs_estimates:
+                    item = QueuedQuery(
+                        query=query,
+                        arrival_ms=now,
+                        seq=payload,
+                        service_estimate_ms=float(replica.service_estimator(query)),
+                    )
+                replica.enqueue(item)
+                if replica.in_service is None:
+                    self._dispatch(replica, now, queue, dropped)
+            elif kind == COMPLETION:
+                replica = self.replicas[payload]
+                self._complete(replica, outcomes, now)
+                self._dispatch(replica, now, queue, dropped)
+            elif kind == PROVISIONING:
+                replica = self.replicas[payload]
+                if not replica.is_retired and replica.provisioning:
+                    replica.finish_provisioning()
+            else:  # CONTROL
+                self._control(now, queue)
+        outcomes.sort(key=_by_query_index)
+        dropped.sort(key=_by_query_index)
+        return outcomes, dropped
+
+    # ------------------------------------------------------------- sharding
+    def _run_sharded(
+        self, trace, arrivals: np.ndarray, workers: int | None
+    ) -> tuple[list[SimulatedQueryOutcome], list[DroppedQuery]]:
+        """Simulate each replica's arrival sub-stream independently.
+
+        Round-robin routing is state-independent — arrival ``i`` goes to
+        replica ``i mod N`` regardless of pool load — and without an
+        autoscaler the replicas share no state at all, so the simulation
+        decomposes exactly: each replica sees the arrival subsequence
+        ``arrivals[r::N]`` with its global indices, and the merged,
+        query-index-sorted outcomes are bit-identical to the unsharded fast
+        path (which sorts the same way).  Load-aware routers and autoscaled
+        pools couple replicas through routing/telemetry state and are
+        rejected.
+
+        With ``workers > 1`` the shards run in forked worker processes and
+        the children's replica stats are mirrored back onto the parent's
+        objects; note that backend-internal state (e.g. Persistent Buffer
+        caches) then advances in the children only.  Platforms without
+        ``fork`` fall back to sequential in-process sharding.
+        """
+        if self.autoscaler is not None:
+            raise ValueError("sharded simulation is incompatible with an autoscaler")
+        if not isinstance(self.router, RoundRobinRouter):
+            raise ValueError(
+                "sharded simulation needs state-independent routing "
+                "(round_robin): a load-aware router couples replicas, which "
+                "cannot then be simulated independently"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"shard_workers must be >= 1, got {workers}")
+        replicas = self.replicas
+        num = len(replicas)
+        arr_list = arrivals.tolist()
+        jobs = [
+            (replicas[r], arr_list[r::num], list(range(r, len(arr_list), num)))
+            for r in range(num)
+        ]
+        results = None
+        if workers is not None and workers > 1 and num > 1:
+            results = self._run_shard_jobs_mp(trace, jobs, workers)
+        if results is None:
+            get_query = _query_getter(trace)
+            results = [
+                _fast_drain(
+                    [replica],
+                    None,
+                    self.admission,
+                    self.dispatch_time_scheduling,
+                    self._needs_estimates,
+                    get_query,
+                    sub_arr,
+                    seqs=seqs,
+                    fixed_replica=replica,
+                )
+                for replica, sub_arr, seqs in jobs
+            ]
+        outcomes: list[SimulatedQueryOutcome] = []
+        dropped: list[DroppedQuery] = []
+        run_end = 0.0
+        for shard_outcomes, shard_dropped, shard_end in results:
+            outcomes.extend(shard_outcomes)
+            dropped.extend(shard_dropped)
+            if shard_end > run_end:
+                run_end = shard_end
+        self._run_end_ms = run_end
+        outcomes.sort(key=_by_query_index)
+        dropped.sort(key=_by_query_index)
+        return outcomes, dropped
+
+    def _run_shard_jobs_mp(self, trace, jobs, workers: int):
+        """Run shard jobs in forked workers; ``None`` → caller falls back."""
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            # No fork on this platform.  Spawn would need every backend,
+            # policy and trace to be importable-picklable, which test
+            # doubles often are not — fall back to in-process sharding.
+            return None
+        payloads = [
+            (
+                replica,
+                self.admission,
+                self.dispatch_time_scheduling,
+                self._needs_estimates,
+                trace,
+                sub_arr,
+                seqs,
+            )
+            for replica, sub_arr, seqs in jobs
+        ]
+        with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+            shard_results = pool.map(_shard_worker, payloads)
+        for (replica, _, _), result in zip(jobs, shard_results):
+            # The child advanced a copy-on-write copy of the replica; mirror
+            # the observable end-of-run state back onto the parent's object.
+            replica.stats = result[2]
+            replica.busy_until_ms = result[3]
+        return [(outcomes, dropped, end) for outcomes, dropped, _, _, end in shard_results]
+
     # --------------------------------------------------------- control plane
-    def _control(self, now: float, heap: EventHeap) -> None:
+    def _control(self, now: float, heap: EventHeap | ArrayEventQueue) -> None:
         """One autoscaler tick: snapshot the pool, enact the policy's delta."""
         ctl = self.autoscaler
         # All signals describe the scaled groups only (matching the event
@@ -498,7 +1153,7 @@ class ServingEngine:
         desired: int,
         pool: list[AcceleratorReplica],
         now: float,
-        heap: EventHeap,
+        heap: EventHeap | ArrayEventQueue,
     ) -> None:
         """Enact one group's desired-size delta against its incoming count."""
         incoming = load.num_incoming
@@ -562,136 +1217,34 @@ class ServingEngine:
         self,
         replica: AcceleratorReplica,
         now: float,
-        heap: EventHeap,
+        heap: EventHeap | ArrayEventQueue,
         dropped: list[DroppedQuery],
     ) -> None:
-        """Pull the replica's next admissible batch and start serving it.
+        """Start the replica's next pickup and schedule its COMPLETION.
 
-        With ``max_batch=1`` (the default) this is the pre-batching dispatch:
-        one pop, one admission check, one ``serve_query``, one COMPLETION
-        event — record-identical to the seed path.  With batching, up to
-        ``max_batch`` admissible queries leave the queue in one pickup and
-        are served as a unit (one COMPLETION event per batch): under
-        ``shared_subnet`` the backend makes a single shared SubNet decision
-        and one accelerator evaluation for the whole batch; under
-        ``per_query`` (and for backends without ``serve_dispatch_batch``)
-        members keep their own decisions and run back to back.
-
-        Records are stamped with the replica index *here*, at dispatch, so
-        completion is allocation-free.
+        The serving semantics live in the shared :func:`_serve_pickup`
+        helper (see its docstring for the batching behaviour); this wrapper
+        adds the engine-level concerns — telemetry scoping, drain-retirement
+        of an empty draining replica, and the COMPLETION event.
         """
         bus = None if self.autoscaler is None else self.autoscaler.bus
         if bus is not None and replica.index not in self._scalable_set:
             bus = None  # telemetry covers the scaled group only
-        batch, shed = replica.pop_batch(
-            replica.max_batch, now_ms=now, admission=self.admission
+        completion_ms = _serve_pickup(
+            replica,
+            now,
+            dropped,
+            admission=self.admission,
+            dts=self.dispatch_time_scheduling,
+            bus=bus,
         )
-        for item in shed:
-            dropped.append(self._drop(item, replica, now))
-            if bus is not None:
-                bus.on_drop(now)
-        if not batch:
+        if completion_ms is None:
             # A draining replica with nothing left to serve leaves the
             # pool here — the natural end of its drain.
             if self.autoscaler is not None:
                 self._maybe_retire(replica, now)
             return
-
-        ridx = replica.index
-        dts = self.dispatch_time_scheduling
-        size = len(batch)
-        batch_serve = (
-            getattr(replica.server, "serve_dispatch_batch", None)
-            if size > 1 and replica.batch_policy == "shared_subnet"
-            else None
-        )
-        if batch_serve is None:
-            # One decision and one evaluation per member, back to back in a
-            # single pickup (size == 1 is exactly the seed dispatch).  Each
-            # member's remaining budget and admission are evaluated at its
-            # *actual* start — the prior members' service time has already
-            # eaten into its slack, exactly as the seed loop would see it.
-            serve = replica.server.serve_query
-            admit = self.admission.admit
-            records: list = []
-            started: list = []
-            starts: list[float] = []
-            services: list[float] = []
-            t = now
-            for item in batch:
-                if t > now and not admit(item, t):
-                    # The deadline expired while earlier members ran.
-                    dropped.append(self._drop(item, replica, t))
-                    if bus is not None:
-                        bus.on_drop(t)
-                    continue
-                effective: float | None = None
-                if dts:
-                    remaining = item.query.latency_constraint_ms - (
-                        t - item.arrival_ms
-                    )
-                    effective = (
-                        remaining
-                        if remaining > _MIN_EFFECTIVE_LATENCY_MS
-                        else _MIN_EFFECTIVE_LATENCY_MS
-                    )
-                record = serve(item.query, effective_latency_constraint_ms=effective)
-                if record.replica_index != ridx:
-                    record = replace(record, replica_index=ridx)
-                service = float(record.served_latency_ms)
-                records.append(record)
-                started.append(item)
-                starts.append(t)
-                services.append(service)
-                t += service
-            # The first member is admitted at t == now, so the pickup always
-            # serves at least one query; later members may have been shed.
-            batch = started
-            size = len(batch)
-            # Summed (not t - now) so a one-query batch is bit-identical to
-            # the seed's per-query busy accounting.
-            total = sum(services)
-            completion_ms = t
-        else:
-            # One shared SubNet decision, one accelerator evaluation, at
-            # most one cache load for the whole batch; members complete
-            # together after the batch evaluation.
-            effective_batch: list[float] | None = None
-            if dts:
-                effective_batch = [
-                    max(
-                        item.query.latency_constraint_ms - (now - item.arrival_ms),
-                        _MIN_EFFECTIVE_LATENCY_MS,
-                    )
-                    for item in batch
-                ]
-            records = [
-                r if r.replica_index == ridx else replace(r, replica_index=ridx)
-                for r in batch_serve(
-                    [item.query for item in batch],
-                    effective_latency_constraints_ms=effective_batch,
-                )
-            ]
-            total = max(float(r.served_latency_ms) for r in records)
-            starts = [now] * size
-            services = [total] * size
-            completion_ms = now + total
-
-        replica.in_service = _InService(
-            items=tuple(batch),
-            records=tuple(records),
-            starts=tuple(starts),
-            services=tuple(services),
-            total_ms=total,
-        )
-        replica.busy_until_ms = completion_ms
-        replica.stats.num_batches += 1
-        if bus is not None:
-            bus.on_batch(now, batch_size=size)
-            on_dispatch = bus.on_dispatch
-            for item in batch:
-                on_dispatch(now, replica_index=ridx, wait_ms=now - item.arrival_ms)
-        heap.push(Event(completion_ms, EventKind.COMPLETION, ridx))
+        heap.push(Event(completion_ms, EventKind.COMPLETION, replica.index))
 
     def _complete(
         self,
@@ -699,54 +1252,21 @@ class ServingEngine:
         outcomes: list[SimulatedQueryOutcome],
         now: float,
     ) -> None:
-        current = replica.in_service
-        if current is None:  # pragma: no cover - engine invariant
-            raise RuntimeError(f"{replica.name} completed with nothing in service")
-        ridx = replica.index
-        stats = replica.stats
-        size = current.size
-        if self.autoscaler is not None and ridx in self._scalable_set:
-            # One completion per batch: the bus pairs it with the pickup's
-            # dispatch start, so windowed busy time stays exact.
-            self.autoscaler.bus.on_completion(
-                now, replica_index=ridx, service_ms=current.total_ms
-            )
-        append = outcomes.append
-        for item, record, start, service in zip(
-            current.items, current.records, current.starts, current.services
-        ):
-            # Records were stamped with the replica index at dispatch, so
-            # completion allocates nothing beyond the outcome itself.
-            append(
-                SimulatedQueryOutcome(
-                    query_index=item.query.index,
-                    arrival_ms=item.arrival_ms,
-                    start_ms=start,
-                    service_ms=service,
-                    latency_constraint_ms=item.query.latency_constraint_ms,
-                    served_accuracy=record.served_accuracy,
-                    replica_index=ridx,
-                    record=record,
-                    batch_size=size,
+        if self.autoscaler is not None and replica.index in self._scalable_set:
+            current = replica.in_service
+            if current is not None:
+                # One completion per batch: the bus pairs it with the
+                # pickup's dispatch start, so windowed busy time stays exact.
+                self.autoscaler.bus.on_completion(
+                    now, replica_index=replica.index, service_ms=current.total_ms
                 )
-            )
-            stats.queueing_ms_total += start - item.arrival_ms
-        stats.num_served += size
-        stats.busy_ms += current.total_ms
-        replica.in_service = None
+        _complete_inservice(replica, outcomes)
 
     # -------------------------------------------------------------- helpers
     def _drop(
         self, item: QueuedQuery, replica: AcceleratorReplica, now: float
     ) -> DroppedQuery:
-        replica.stats.num_dropped += 1
-        return DroppedQuery(
-            query_index=item.query.index,
-            arrival_ms=item.arrival_ms,
-            dropped_at_ms=now,
-            latency_constraint_ms=item.query.latency_constraint_ms,
-            replica_index=replica.index,
-        )
+        return _drop_item(item, replica, now)
 
     def _build_result(
         self,

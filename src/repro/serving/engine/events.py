@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 
 class EventKind(enum.IntEnum):
@@ -68,8 +68,96 @@ class EventHeap:
             raise IndexError("pop from an empty event heap")
         return heapq.heappop(self._heap)[3]
 
+    def pop_batch(self) -> list[Event]:
+        """Every event sharing the earliest timestamp, in tie-break order.
+
+        Equivalent to popping one at a time while the head's time does not
+        change: the returned list is ordered by (kind, insertion order), the
+        documented determinism contract at equal timestamps.
+        """
+        heap = self._heap
+        if not heap:
+            raise IndexError("pop from an empty event heap")
+        time_ms = heap[0][0]
+        batch: list[Event] = []
+        pop = heapq.heappop
+        while heap and heap[0][0] == time_ms:
+            batch.append(pop(heap)[3])
+        return batch
+
     def __len__(self) -> int:
         return len(self._heap)
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+_ARRIVAL = int(EventKind.ARRIVAL)
+
+
+class ArrayEventQueue:
+    """Array-backed event queue: an arrival cursor merged with a small heap.
+
+    The engine's arrival buffer is already time-sorted (arrival processes
+    are cumulative), so the fast path keeps arrivals as a plain cursor over
+    the buffer and heaps only the *dynamic* events — COMPLETION,
+    PROVISIONING and CONTROL — of which only a handful are ever in flight.
+    This removes one ``Event`` allocation plus a heap push *and* pop per
+    arrival while preserving :class:`EventHeap`'s exact ordering contract:
+
+    * time first;
+    * at equal timestamps, :class:`EventKind` order (completions before
+      arrivals before provisioning hand-overs before control ticks);
+    * remaining ties by insertion order.  Dynamic events are never
+      ARRIVAL-kind, so (time, kind) fully orders a dynamic event against
+      the cursor, and same-kind dynamic ties fall back to this queue's own
+      insertion counter — the same relative order ``run()`` would have
+      pushed them into an :class:`EventHeap`.
+
+    ``pop`` returns ``(time_ms, kind, payload)`` where an ARRIVAL's payload
+    is the *arrival index* into the buffer (the caller materializes the
+    query lazily); dynamic payloads are the pushed event's payload.
+    """
+
+    def __init__(self, arrival_times_ms: Sequence[float]) -> None:
+        # A plain Python list: float comparisons against heap entries are
+        # several times faster than indexing a numpy array per event.
+        self._arrivals = list(arrival_times_ms)
+        self._cursor = 0
+        self._heap: list[tuple[float, int, int, Any]] = []
+        self._counter = 0
+
+    def push(self, event: Event) -> None:
+        """Schedule a dynamic (COMPLETION/PROVISIONING/CONTROL) event."""
+        heapq.heappush(
+            self._heap,
+            (event.time_ms, int(event.kind), self._counter, event.payload),
+        )
+        self._counter += 1
+
+    def pop(self) -> tuple[float, int, Any]:
+        heap = self._heap
+        i = self._cursor
+        if i < len(self._arrivals):
+            arrival_ms = self._arrivals[i]
+            if heap:
+                head = heap[0]
+                # The dynamic event wins on a strictly earlier time, or on
+                # a tie when its kind precedes ARRIVAL (i.e. COMPLETION).
+                if head[0] < arrival_ms or (
+                    head[0] == arrival_ms and head[1] < _ARRIVAL
+                ):
+                    heapq.heappop(heap)
+                    return head[0], head[1], head[3]
+            self._cursor = i + 1
+            return arrival_ms, _ARRIVAL, i
+        if heap:
+            time_ms, kind, _, payload = heapq.heappop(heap)
+            return time_ms, kind, payload
+        raise IndexError("pop from an empty event queue")
+
+    def __len__(self) -> int:
+        return (len(self._arrivals) - self._cursor) + len(self._heap)
+
+    def __bool__(self) -> bool:
+        return self._cursor < len(self._arrivals) or bool(self._heap)

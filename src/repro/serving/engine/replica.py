@@ -48,6 +48,12 @@ class PrecomputedServer:
             raise KeyError(f"no precomputed record for query {query.index}") from exc
 
 
+def _constraint_estimate(query: Query) -> float:
+    """Default service estimate for servers without ``estimate_service_ms``:
+    the query's own latency budget (an upper bound on admissible service)."""
+    return query.latency_constraint_ms
+
+
 @dataclass
 class ReplicaStats:
     """Running statistics of one replica over a simulation run."""
@@ -182,8 +188,10 @@ class AcceleratorReplica:
         self.name = name or f"replica{index if index is not None else '?'}"
         if service_estimator is None:
             estimate = getattr(server, "estimate_service_ms", None)
-            service_estimator = estimate if callable(estimate) else (
-                lambda q: q.latency_constraint_ms
+            # A module-level default (not a lambda) keeps replicas picklable
+            # for the engine's multiprocessing sharded mode.
+            service_estimator = (
+                estimate if callable(estimate) else _constraint_estimate
             )
         self.service_estimator = service_estimator
         self.busy_until_ms = 0.0

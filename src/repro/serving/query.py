@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Query:
@@ -101,3 +103,96 @@ class QueryTrace:
             for i, (a, l) in enumerate(zip(accuracy_constraints, latency_constraints_ms))
         )
         return cls(queries=queries, name=name)
+
+
+class ArrayQueryTrace:
+    """An array-backed query stream for long (10M+) traces.
+
+    Duck-type compatible with :class:`QueryTrace` — ``len``, iteration,
+    indexing and the constraint-list properties — but the constraints live
+    in numpy buffers and :class:`Query` objects are materialized *lazily*,
+    one at a time at dispatch, instead of eagerly up front.  Validation is
+    vectorized once at construction (the same checks ``Query.__post_init__``
+    applies per query), so materialization can skip per-object checks; the
+    materialized queries are bit-identical to an eager
+    :meth:`QueryTrace.from_constraints` build of the same arrays.
+    """
+
+    __slots__ = ("name", "_accuracy", "_latency_ms", "_acc_list", "_lat_list")
+
+    def __init__(
+        self,
+        accuracy_constraints,
+        latency_constraints_ms,
+        *,
+        name: str = "trace",
+    ) -> None:
+        acc = np.asarray(accuracy_constraints, dtype=np.float64)
+        lat = np.asarray(latency_constraints_ms, dtype=np.float64)
+        if acc.ndim != 1 or lat.ndim != 1:
+            raise ValueError("constraint arrays must be one-dimensional")
+        if acc.shape != lat.shape:
+            raise ValueError("constraint lists must have equal length")
+        if acc.size == 0:
+            raise ValueError("a query trace needs at least one query")
+        acc_ok = (acc > 0.0) & (acc < 1.0)
+        if not acc_ok.all():
+            i = int(np.argmin(acc_ok))
+            raise ValueError(
+                f"query {i}: accuracy constraint must be in (0, 1), "
+                f"got {acc[i]}"
+            )
+        lat_ok = lat > 0.0
+        if not lat_ok.all():
+            i = int(np.argmin(lat_ok))
+            raise ValueError(
+                f"query {i}: latency constraint must be positive, "
+                f"got {lat[i]}"
+            )
+        self.name = name
+        self._accuracy = acc
+        self._latency_ms = lat
+        # Python-float views for the hot path: indexing a list of floats is
+        # much cheaper than converting numpy scalars per materialization,
+        # and tolist() round-trips IEEE doubles exactly.
+        self._acc_list = acc.tolist()
+        self._lat_list = lat.tolist()
+
+    def query_at(self, index: int) -> Query:
+        """Materialize one query (validation already done array-wide).
+
+        Bypasses the dataclass constructor: ``__post_init__`` re-checks per
+        field, and on a 10M-query trace that is the difference between a
+        bounds check per query and a vectorized one per run.
+        """
+        query = Query.__new__(Query)
+        d = query.__dict__
+        d["index"] = index
+        d["accuracy_constraint"] = self._acc_list[index]
+        d["latency_constraint_ms"] = self._lat_list[index]
+        d["arrival_ms"] = 0.0
+        return query
+
+    def materialize(self, *, name: str | None = None) -> QueryTrace:
+        """The equivalent eager :class:`QueryTrace` (for reference runs)."""
+        return QueryTrace(
+            queries=tuple(self.query_at(i) for i in range(len(self._acc_list))),
+            name=self.name if name is None else name,
+        )
+
+    def __len__(self) -> int:
+        return len(self._acc_list)
+
+    def __iter__(self) -> Iterator[Query]:
+        return (self.query_at(i) for i in range(len(self._acc_list)))
+
+    def __getitem__(self, idx: int) -> Query:
+        return self.query_at(idx)
+
+    @property
+    def accuracy_constraints(self) -> list[float]:
+        return list(self._acc_list)
+
+    @property
+    def latency_constraints_ms(self) -> list[float]:
+        return list(self._lat_list)

@@ -206,14 +206,21 @@ class ArrivalSpec:
         cumulative-hazard construction, exact for any piecewise rate.
         """
         rng = np.random.default_rng(self.seed)
-        hazards = rng.exponential(scale=1.0, size=num_queries)
-        durations = np.array([d for d, _ in self.segments])
-        rates = np.array([r for _, r in self.segments])
-        arrivals = np.empty(num_queries, dtype=np.float64)
+        # The burn-down runs in pure Python floats (``tolist`` round-trips
+        # IEEE doubles exactly, and +,-,*,/ on Python floats produce the
+        # same bits as the np.float64 scalar loop) — bit-identical arrivals
+        # at a fraction of the per-query cost, which matters because this
+        # sampler is the trace-generation bottleneck on 10M-query streams.
+        hazards = rng.exponential(scale=1.0, size=num_queries).tolist()
+        durations = [float(d) for d, _ in self.segments]
+        rates = [float(r) for _, r in self.segments]
+        num_segments = len(durations)
+        arrivals: list[float] = []
+        append = arrivals.append
         t = 0.0
         seg = 0  # current segment in the cycle
         into = 0.0  # time already spent inside the current segment
-        for i, hazard in enumerate(hazards):
+        for hazard in hazards:
             while True:
                 left_ms = durations[seg] - into
                 seg_hazard = rates[seg] * left_ms
@@ -224,10 +231,12 @@ class ArrivalSpec:
                     break
                 hazard -= seg_hazard
                 t += left_ms
-                seg = (seg + 1) % len(self.segments)
+                seg += 1
+                if seg == num_segments:
+                    seg = 0
                 into = 0.0
-            arrivals[i] = t
-        return arrivals
+            append(t)
+        return np.asarray(arrivals, dtype=np.float64)
 
     def nominal_rate_per_ms(self) -> float:
         """The long-run mean arrival rate implied by the spec."""
@@ -713,6 +722,23 @@ class ScenarioSpec:
         precomputed open-loop mode).
     seed:
         Scenario seed: the workload seed and the default backend seed.
+    fast_path:
+        Opt into the engine's fast event loop: the trace stays in numpy
+        constraint buffers (queries materialize lazily at dispatch) and
+        arrivals are consumed through an array-backed event queue.  Records
+        and results are bit-identical to the reference path — ``false``
+        (the default) keeps the reference loop.
+    shard:
+        Opt into sharded simulation: with state-independent routing
+        (``round_robin``) and no autoscaler, arrival ``i`` goes to replica
+        ``i mod N`` regardless of pool state, so each replica's timeline is
+        simulated independently and the per-shard records are merged
+        deterministically — bit-identical to the unsharded run.  Rejected
+        at validation for routers/autoscalers that couple replicas.
+    shard_workers:
+        Worker processes for sharded simulation (requires ``shard``).
+        ``null``/1 runs shards sequentially in-process; ``N > 1`` fans them
+        out via ``multiprocessing`` (backends must be picklable).
     """
 
     name: str = "scenario"
@@ -730,6 +756,9 @@ class ScenarioSpec:
     num_queries: int | None = None
     dispatch_time_scheduling: bool = True
     seed: int = 0
+    fast_path: bool = False
+    shard: bool = False
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.policy, str):
@@ -758,6 +787,28 @@ class ScenarioSpec:
                     f"autoscaler.groups entry {name!r} names no replica "
                     f"group (groups: {names})",
                 )
+        if self.shard:
+            _require(
+                self.router == "round_robin",
+                f"shard needs state-independent routing (round_robin), "
+                f"not {self.router!r}: sharded replicas cannot see each "
+                "other's load",
+            )
+            _require(
+                self.autoscaler is None,
+                "shard is incompatible with an autoscaler: the control "
+                "plane couples every replica's timeline",
+            )
+        if self.shard_workers is not None:
+            _require(
+                self.shard,
+                "shard_workers only applies to sharded simulation "
+                "(set shard: true)",
+            )
+            _require(
+                self.shard_workers >= 1,
+                f"shard_workers must be >= 1, got {self.shard_workers}",
+            )
 
     # ------------------------------------------------------------- derived
     @property
@@ -825,6 +876,9 @@ class ScenarioSpec:
             "num_queries": self.num_queries,
             "dispatch_time_scheduling": self.dispatch_time_scheduling,
             "seed": self.seed,
+            "fast_path": self.fast_path,
+            "shard": self.shard,
+            "shard_workers": self.shard_workers,
         }
 
     @classmethod

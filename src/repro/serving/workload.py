@@ -24,7 +24,7 @@ from typing import Literal, get_args
 
 import numpy as np
 
-from repro.serving.query import Query, QueryTrace
+from repro.serving.query import ArrayQueryTrace, Query, QueryTrace
 
 Pattern = Literal["uniform", "phased", "drift", "bursty"]
 
@@ -174,22 +174,44 @@ class WorkloadGenerator:
         return acc, lat
 
     # ------------------------------------------------------------ generate
-    def generate(self, *, name: str | None = None) -> QueryTrace:
-        """Produce a query trace according to the spec."""
+    def generate_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The stream's ``(accuracy, latency_ms)`` constraint arrays.
+
+        Exactly the draws :meth:`generate` materializes into ``Query``
+        objects — the array and object forms of one workload are
+        bit-identical, which is what lets the engine's fast path skip eager
+        materialization.
+        """
         rng = np.random.default_rng(self.seed)
         pattern = self.spec.pattern
         if pattern == "uniform":
-            acc, lat = self._uniform(rng)
-        elif pattern == "phased":
-            acc, lat = self._phased(rng)
-        elif pattern == "drift":
-            acc, lat = self._drift(rng)
-        elif pattern == "bursty":
-            acc, lat = self._bursty(rng)
-        else:  # pragma: no cover - guarded by the Literal type
-            raise ValueError(f"unknown pattern {pattern!r}")
+            return self._uniform(rng)
+        if pattern == "phased":
+            return self._phased(rng)
+        if pattern == "drift":
+            return self._drift(rng)
+        if pattern == "bursty":
+            return self._bursty(rng)
+        raise ValueError(f"unknown pattern {pattern!r}")  # pragma: no cover
+
+    def generate(self, *, name: str | None = None) -> QueryTrace:
+        """Produce a query trace according to the spec."""
+        acc, lat = self.generate_arrays()
         queries = tuple(
             Query(index=i, accuracy_constraint=float(a), latency_constraint_ms=float(l))
             for i, (a, l) in enumerate(zip(acc, lat))
         )
-        return QueryTrace(queries=queries, name=name or f"{pattern}-{self.seed}")
+        return QueryTrace(
+            queries=queries, name=name or f"{self.spec.pattern}-{self.seed}"
+        )
+
+    def generate_array_trace(self, *, name: str | None = None) -> ArrayQueryTrace:
+        """The array-backed form of :meth:`generate` (lazy ``Query`` objects).
+
+        Used by the engine fast path on long traces; materialized queries
+        are bit-identical to :meth:`generate`'s.
+        """
+        acc, lat = self.generate_arrays()
+        return ArrayQueryTrace(
+            acc, lat, name=name or f"{self.spec.pattern}-{self.seed}"
+        )

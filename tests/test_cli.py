@@ -158,6 +158,14 @@ class TestServe:
         assert spec.autoscaler.group == "pool"
         assert spec.arrivals.kind == "time_varying"
 
+    def test_checked_in_sharded_scenario_parses(self):
+        path = REPO_ROOT / "examples" / "scenarios" / "sharded_pool.json"
+        spec = ScenarioSpec.from_json(path.read_text())
+        assert spec.fast_path and spec.shard
+        assert spec.router == "round_robin"  # sharding's routing requirement
+        assert spec.autoscaler is None
+        assert spec.to_json() + "\n" == path.read_text()  # exact round-trip
+
     def test_checked_in_predictive_scenario_parses(self):
         path = REPO_ROOT / "examples" / "scenarios" / "predictive_pool.json"
         spec = ScenarioSpec.from_json(path.read_text())
