@@ -1,6 +1,6 @@
 """``repro`` command line: list/run experiments, serve declarative scenarios.
 
-Four subcommands make every artifact in the experiment registry and every
+Five subcommands make every artifact in the experiment registry and every
 serving scenario reproducible from one command line::
 
     python -m repro list
@@ -9,6 +9,7 @@ serving scenario reproducible from one command line::
     python -m repro serve --scenario examples/scenarios/hetero_pool.json \
         --override arrivals.seed=7 --override replica_groups.0.count=4
     python -m repro schema
+    python -m repro lint --format json src
 
 ``serve`` loads a :class:`~repro.serving.spec.ScenarioSpec` from JSON,
 applies any ``--override key=value`` pairs (dotted paths into the serialized
@@ -23,6 +24,9 @@ functions by cumulative time.  ``schema`` prints the scenario JSON
 reference — every field's default and every closed enum — straight from the
 dataclasses (:func:`repro.serving.spec.scenario_schema`), so it can never
 drift from the code; the prose companion is ``docs/scenario-schema.md``.
+``lint`` runs the AST-based invariant linter (codes RPR001–RPR005; see
+``docs/invariants.md``) over ``src/`` by default and exits nonzero on any
+violation — CI runs it in the ``static-analysis`` job.
 """
 
 from __future__ import annotations
@@ -156,6 +160,21 @@ def _cmd_schema(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import format_json, format_text, run_lint
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    try:
+        result = run_lint(args.paths, select=select)
+    except (OSError, ValueError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    print(format_json(result) if args.format == "json" else format_text(result))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +237,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the scenario JSON schema (field defaults and enums)",
     )
     schema_p.set_defaults(func=_cmd_schema)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help=(
+            "run the AST-based invariant linter (RPR001-RPR005; "
+            "see docs/invariants.md)"
+        ),
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint_p.add_argument(
+        "--select",
+        metavar="CODE,...",
+        help="comma-separated lint codes to run, e.g. RPR001,RPR005",
+    )
+    lint_p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,179 @@
+"""Drive the invariant linter: discover files, run checkers, format output.
+
+:func:`run_lint` is the single entry point used by the CLI
+(``python -m repro lint``), the test suite, and ``tools/check_docs.py``.
+It parses every target file once, builds the cross-file
+:class:`~repro.lint.base.ProjectIndex`, runs every registered checker in
+its scope, then applies line-level suppressions
+(``# repro-lint: disable=RPRxxx -- reason``).  RPR000 — the suppression
+hygiene meta-check — is never itself suppressible.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.base import (
+    CHECKERS,
+    ModuleSource,
+    ProjectIndex,
+    Violation,
+    checker_codes,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: tuple[Violation, ...]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise OSError(f"no such file or directory: {path}")
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if "__pycache__" not in candidate.parts:
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_modules(
+    files: Iterable[Path], root: Path
+) -> tuple[list[ModuleSource], list[Violation]]:
+    """Parse every file; unparseable files become RPR000 violations."""
+    modules: list[ModuleSource] = []
+    errors: list[Violation] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        relpath = _relpath(path, root)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Violation(
+                    "RPR000",
+                    relpath,
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(ModuleSource(path, relpath, source, tree))
+    return modules, errors
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    root: str | Path | None = None,
+) -> LintResult:
+    """Lint ``paths`` and return the (suppression-filtered) result.
+
+    ``select`` limits the run to the given codes; unknown codes raise
+    ``ValueError``.  ``root`` anchors the reported relative paths
+    (defaults to the current directory); checker *scoping* matches path
+    fragments, so scratch copies that preserve ``serving/engine/...``
+    layout get the same treatment as the real tree.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    selected: dict[str, object]
+    if select is None:
+        selected = dict(CHECKERS)
+    else:
+        wanted = list(select)
+        unknown = [code for code in wanted if code not in CHECKERS]
+        if unknown:
+            raise ValueError(
+                f"unknown lint code(s) {', '.join(sorted(unknown))}; "
+                f"registered: {', '.join(checker_codes())}"
+            )
+        selected = {code: CHECKERS[code] for code in CHECKERS if code in wanted}
+
+    files = discover_files(paths)
+    modules, violations = load_modules(files, root_path)
+    project = ProjectIndex(modules)
+    for module in modules:
+        for code, checker in CHECKERS.items():
+            if code not in selected:
+                continue
+            if not checker.applies_to(module):
+                continue
+            for violation in checker.check(module, project):
+                if _suppressed(module, violation):
+                    continue
+                violations.append(violation)
+    violations.sort(key=Violation.sort_key)
+    return LintResult(tuple(violations), files_checked=len(files))
+
+
+def _suppressed(module: ModuleSource, violation: Violation) -> bool:
+    if violation.code == "RPR000":
+        return False  # suppression hygiene is not itself waivable
+    suppression = module.suppressions.get(violation.line)
+    return suppression is not None and violation.code in suppression.codes
+
+
+def format_text(result: LintResult) -> str:
+    lines = [violation.render() for violation in result.violations]
+    if result.ok:
+        lines.append(f"ok: {result.files_checked} file(s) lint-clean")
+    else:
+        by_code = ", ".join(
+            f"{code}×{count}" for code, count in result.counts_by_code().items()
+        )
+        lines.append(
+            f"{len(result.violations)} violation(s) in "
+            f"{result.files_checked} file(s) checked ({by_code})"
+        )
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "counts_by_code": result.counts_by_code(),
+        "violations": [
+            {
+                "code": v.code,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,108 @@
+"""RPR002 — slots coverage for hot-path classes.
+
+The engine allocates records, events, and telemetry snapshots per query
+or per control tick, so attribute storage must stay fixed: a dataclass
+defined under ``serving/engine/`` or ``serving/autoscale/`` must declare
+``__slots__`` (``@dataclass(slots=True)`` or an explicit ``__slots__``
+tuple).  Conversely, a class that *does* declare ``__slots__`` has no
+``__dict__`` — so stamping ``obj.__dict__`` (the PR 6 fast-path idiom)
+or ``object.__setattr__``-ing an undeclared attribute onto it fails at
+runtime.  Both halves are the same invariant seen from either side,
+hence one code:
+
+* (a) hot-path dataclasses without ``__slots__`` — flagged at the class;
+* (b) ``Cls.__new__(Cls)`` + ``obj.__dict__`` stamping where ``Cls`` is
+  slotted — flagged at the construction site (any file);
+* (c) ``object.__setattr__(self, "name", ...)`` inside a slotted class
+  where ``name`` is neither a field nor an explicit slot — flagged at
+  the call (any file).
+
+Plain (non-dataclass) helper classes are exempt from (a): they are
+either already hand-slotted or not allocated per event.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import (
+    Checker,
+    ModuleSource,
+    ProjectIndex,
+    Violation,
+    find_stamp_sites,
+    iter_functions,
+    register,
+)
+
+
+@register
+class SlotsChecker(Checker):
+    code = "RPR002"
+    name = "slots-coverage"
+    description = (
+        "hot-path dataclasses must declare __slots__; slotted classes must "
+        "not be targets of __dict__ stamping or dynamic attribute writes"
+    )
+    scope = ()  # (b) and (c) apply everywhere; (a) gates on the hot path
+
+    def check(
+        self, module: ModuleSource, project: ProjectIndex
+    ) -> Iterator[Violation]:
+        if module.in_hot_path():
+            for info in module.classes.values():
+                if info.is_dataclass and not info.has_slots:
+                    yield self.violation(
+                        module,
+                        info.lineno,
+                        f"hot-path dataclass {info.name} does not declare "
+                        "__slots__; add slots=True (instances are allocated "
+                        "per event/query)",
+                    )
+
+        for func in iter_functions(module.tree):
+            for site in find_stamp_sites(func):
+                if site.class_name is None or not site.touches_dict:
+                    continue
+                info = project.resolve_class(module, site.class_name)
+                if info is not None and info.has_slots:
+                    yield self.violation(
+                        module,
+                        site.lineno,
+                        f"{site.class_name} declares __slots__, so instances "
+                        "have no __dict__; this fast-path stamp would raise "
+                        "AttributeError at runtime",
+                    )
+
+        for info in module.classes.values():
+            if not info.has_slots:
+                continue
+            allowed = set(info.fields)
+            allowed.update(info.explicit_slots or ())
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func_expr = node.func
+                if not (
+                    isinstance(func_expr, ast.Attribute)
+                    and func_expr.attr == "__setattr__"
+                    and isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id == "object"
+                ):
+                    continue
+                if len(node.args) < 2:
+                    continue
+                attr = node.args[1]
+                if (
+                    isinstance(attr, ast.Constant)
+                    and isinstance(attr.value, str)
+                    and attr.value not in allowed
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"dynamic attribute write {attr.value!r} on slotted "
+                        f"class {info.name}; declare it as a field/slot or "
+                        "drop the write",
+                    )

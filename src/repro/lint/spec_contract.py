@@ -1,0 +1,128 @@
+"""RPR004 — spec JSON round-trip completeness.
+
+Every frozen dataclass in ``serving/spec.py`` promises an *exact* JSON
+round-trip: ``from_dict(to_dict(spec)) == spec`` (the property tests in
+``tests/test_spec.py`` enforce it at runtime).  A new knob that is added
+to the dataclass but not to ``to_dict`` silently falls out of the wire
+format; one missing from ``from_dict``'s explicit conversions silently
+resets to its default on load.  This checker closes the gap statically,
+for any frozen dataclass that defines ``to_dict`` (spec.py today, future
+spec modules automatically):
+
+* every field must appear as a string key in ``to_dict`` (dict-literal
+  keys and ``out["key"] = ...`` subscript stores both count);
+* a class with ``to_dict`` but no ``from_dict`` is flagged — the
+  round-trip has no return leg;
+* ``from_dict`` must mention every field as a string constant, unless it
+  passes the whole mapping through (``cls(**data)``), in which case the
+  dataclass constructor itself guarantees coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import (
+    Checker,
+    ClassInfo,
+    ModuleSource,
+    ProjectIndex,
+    Violation,
+    register,
+)
+
+
+def _method(info: ClassInfo, name: str) -> ast.FunctionDef | None:
+    for stmt in info.node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _string_keys(func: ast.FunctionDef) -> set[str]:
+    keys: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+    return keys
+
+
+def _string_constants(func: ast.FunctionDef) -> set[str]:
+    return {
+        node.value
+        for node in ast.walk(func)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def _has_mapping_passthrough(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            if any(kw.arg is None for kw in node.keywords):
+                return True
+    return False
+
+
+@register
+class SpecRoundTripChecker(Checker):
+    code = "RPR004"
+    name = "spec-roundtrip-completeness"
+    description = (
+        "every field of a frozen spec dataclass must appear in both its "
+        "to_dict and from_dict"
+    )
+    scope = ()
+
+    def check(
+        self, module: ModuleSource, project: ProjectIndex
+    ) -> Iterator[Violation]:
+        for info in module.classes.values():
+            if not info.is_dataclass:
+                continue
+            if not info.dataclass_keywords.get("frozen"):
+                continue
+            to_dict = _method(info, "to_dict")
+            if to_dict is None:
+                continue
+            keys = _string_keys(to_dict)
+            for field_name in info.fields:
+                if field_name not in keys:
+                    yield self.violation(
+                        module,
+                        to_dict,
+                        f"field {field_name!r} of {info.name} never appears "
+                        "in to_dict; it would silently fall out of the JSON "
+                        "contract",
+                    )
+            from_dict = _method(info, "from_dict")
+            if from_dict is None:
+                yield self.violation(
+                    module,
+                    info.lineno,
+                    f"{info.name} defines to_dict but no from_dict; the "
+                    "round-trip has no return leg",
+                )
+                continue
+            if _has_mapping_passthrough(from_dict):
+                continue  # cls(**data): constructor enforces coverage
+            mentioned = _string_constants(from_dict)
+            for field_name in info.fields:
+                if field_name not in mentioned:
+                    yield self.violation(
+                        module,
+                        from_dict,
+                        f"field {field_name!r} of {info.name} never appears "
+                        "in from_dict; it would silently reset to its "
+                        "default on load",
+                    )

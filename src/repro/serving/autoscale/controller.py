@@ -40,7 +40,7 @@ from repro.serving.autoscale.policies import (
 from repro.serving.autoscale.telemetry import MetricsSnapshot, TelemetryBus
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScaledGroup:
     """Static configuration of one replica group under autoscaler control.
 
@@ -99,7 +99,7 @@ class ScalingEvent:
     """Scaled group the event applies to (None for a single unnamed group)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AutoscaleReport:
     """Control-plane summary attached to a :class:`SimulationResult`."""
 

@@ -51,7 +51,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.serving.autoscale.telemetry import MetricsSnapshot
 
@@ -477,7 +477,7 @@ _POLICIES = {
 POLICY_NAMES: tuple[str, ...] = tuple(sorted(_POLICIES))
 
 
-def make_policy(spec: str | ScalingPolicy, **kwargs) -> ScalingPolicy:
+def make_policy(spec: str | ScalingPolicy, **kwargs: Any) -> ScalingPolicy:
     """Build a scaling policy from a name (plus kwargs), or pass through."""
     if isinstance(spec, ScalingPolicy):
         if kwargs:

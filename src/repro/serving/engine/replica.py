@@ -54,7 +54,7 @@ def _constraint_estimate(query: Query) -> float:
     return query.latency_constraint_ms
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaStats:
     """Running statistics of one replica over a simulation run."""
 

@@ -19,7 +19,7 @@ from repro.serving.engine.replica import ReplicaStats
 
 
 @dataclass(frozen=True)
-class SimulatedQueryOutcome:
+class SimulatedQueryOutcome:  # repro-lint: disable=RPR002 -- _fast_drain stamps outcome.__dict__; slots=True would remove the __dict__ the fast path fills
     """Timing of one served query in the simulation (all in ms)."""
 
     query_index: int
@@ -53,7 +53,7 @@ class SimulatedQueryOutcome:
         return self.response_ms <= self.latency_constraint_ms
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DroppedQuery:
     """A query shed by admission control (never served)."""
 
@@ -69,7 +69,7 @@ class DroppedQuery:
         return self.dropped_at_ms - self.arrival_ms
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SimulationResult:
     """Aggregate outcome of one simulation run.
 

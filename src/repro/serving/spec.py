@@ -45,6 +45,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.accelerator.platforms import PlatformConfig, platform_by_name
 from repro.core.policies import Policy
@@ -183,21 +184,26 @@ class ArrivalSpec:
                 )
 
     # ------------------------------------------------------------- generate
-    def generate(self, num_queries: int) -> np.ndarray:
+    def generate(self, num_queries: int) -> npt.NDArray[np.float64]:
         """Cumulative arrival timestamps (ms) for ``num_queries`` queries."""
         if num_queries <= 0:
             raise ValueError("num_queries must be positive")
         if self.kind == "poisson":
             # Exactly the engine's run_open_loop arrivals, so a Poisson
             # ScenarioSpec is record-identical to the hand-wired path.
+            rate = self.rate_per_ms
+            assert rate is not None  # __post_init__ rejects rateless poisson
             rng = np.random.default_rng(self.seed)
-            gaps = rng.exponential(scale=1.0 / self.rate_per_ms, size=num_queries)
-            return np.cumsum(gaps)
+            gaps = rng.exponential(scale=1.0 / rate, size=num_queries)
+            return np.asarray(np.cumsum(gaps), dtype=np.float64)
         if self.kind == "deterministic":
-            return np.arange(1, num_queries + 1, dtype=np.float64) / self.rate_per_ms
+            rate = self.rate_per_ms
+            assert rate is not None  # __post_init__ rejects rateless arrivals
+            spaced = np.arange(1, num_queries + 1, dtype=np.float64) / rate
+            return np.asarray(spaced, dtype=np.float64)
         return self._time_varying(num_queries)
 
-    def _time_varying(self, num_queries: int) -> np.ndarray:
+    def _time_varying(self, num_queries: int) -> npt.NDArray[np.float64]:
         """Exact piecewise-constant-rate Poisson process via unit hazards.
 
         Each inter-arrival draws a unit-rate exponential and burns it down
@@ -241,7 +247,9 @@ class ArrivalSpec:
     def nominal_rate_per_ms(self) -> float:
         """The long-run mean arrival rate implied by the spec."""
         if self.kind in ("poisson", "deterministic"):
-            return float(self.rate_per_ms)
+            rate = self.rate_per_ms
+            assert rate is not None  # validated in __post_init__
+            return float(rate)
         total_time = sum(d for d, _ in self.segments)
         total_arrivals = sum(d * r for d, r in self.segments)
         return total_arrivals / total_time
@@ -257,9 +265,9 @@ class ArrivalSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
-        data = dict(data)
-        data["segments"] = _as_tuple(data.get("segments", ()))
-        return cls(**data)
+        payload: dict[str, Any] = dict(data)
+        payload["segments"] = _as_tuple(payload.get("segments", ()))
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -448,16 +456,16 @@ class ReplicaGroupSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ReplicaGroupSpec":
-        data = dict(data)
-        if "platform" in data:
-            data["platform"] = _platform_from_json(data["platform"])
-        if data.get("policy") is not None:
-            data["policy"] = Policy(data["policy"])
-        if data.get("batching") is not None:
-            data["batching"] = BatchingSpec.from_dict(data["batching"])
+        payload: dict[str, Any] = dict(data)
+        if "platform" in payload:
+            payload["platform"] = _platform_from_json(payload["platform"])
+        if payload.get("policy") is not None:
+            payload["policy"] = Policy(payload["policy"])
+        if payload.get("batching") is not None:
+            payload["batching"] = BatchingSpec.from_dict(payload["batching"])
         else:
-            data.pop("batching", None)
-        return cls(**data)
+            payload.pop("batching", None)
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -661,10 +669,10 @@ class AutoscalerSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AutoscalerSpec":
-        data = dict(data)
-        data["schedule"] = _as_tuple(data.get("schedule", ()))
-        data["groups"] = tuple(data.get("groups", ()))
-        return cls(**data)
+        payload: dict[str, Any] = dict(data)
+        payload["schedule"] = _as_tuple(payload.get("schedule", ()))
+        payload["groups"] = tuple(payload.get("groups", ()))
+        return cls(**payload)
 
 
 def _workload_to_json(spec: WorkloadSpec) -> dict[str, Any]:
@@ -883,20 +891,20 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
-        data = dict(data)
-        if "policy" in data:
-            data["policy"] = Policy(data["policy"])
-        if "replica_groups" in data:
-            data["replica_groups"] = tuple(
-                ReplicaGroupSpec.from_dict(g) for g in data["replica_groups"]
+        payload: dict[str, Any] = dict(data)
+        if "policy" in payload:
+            payload["policy"] = Policy(payload["policy"])
+        if "replica_groups" in payload:
+            payload["replica_groups"] = tuple(
+                ReplicaGroupSpec.from_dict(g) for g in payload["replica_groups"]
             )
-        if "workload" in data:
-            data["workload"] = _workload_from_json(data["workload"])
-        if "arrivals" in data:
-            data["arrivals"] = ArrivalSpec.from_dict(data["arrivals"])
-        if data.get("autoscaler") is not None:
-            data["autoscaler"] = AutoscalerSpec.from_dict(data["autoscaler"])
-        return cls(**data)
+        if "workload" in payload:
+            payload["workload"] = _workload_from_json(payload["workload"])
+        if "arrivals" in payload:
+            payload["arrivals"] = ArrivalSpec.from_dict(payload["arrivals"])
+        if payload.get("autoscaler") is not None:
+            payload["autoscaler"] = AutoscalerSpec.from_dict(payload["autoscaler"])
+        return cls(**payload)
 
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

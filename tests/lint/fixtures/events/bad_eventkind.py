@@ -1,0 +1,15 @@
+"""Fixture: RPR005 EventKind drift — a member outside the documented
+(time, kind, seq) ordering contract.
+
+Never imported at runtime — this file exists only to be linted.
+"""
+
+import enum
+
+
+class EventKind(enum.IntEnum):
+    COMPLETION = 0
+    ARRIVAL = 1
+    PROVISIONING = 2
+    CONTROL = 3
+    PREEMPTION = 4  # expect: RPR005

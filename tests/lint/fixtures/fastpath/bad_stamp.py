@@ -1,0 +1,23 @@
+"""Fixture: RPR003 fast-path field parity violations — one stamp site
+with both a typo'd key and missing fields (two findings, same line).
+
+Never imported at runtime — this file exists only to be linted.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Outcome:
+    first: int = 0
+    second: float = 0.0
+    third: int = 0
+
+
+def fast_build(values):
+    out_new = Outcome.__new__
+    out = out_new(Outcome)  # expect: RPR003,RPR003
+    d = out.__dict__
+    d["first"] = values[0]
+    d["secnod"] = values[1]
+    return out

@@ -1,0 +1,12 @@
+"""Fixture: the same patterns bad_determinism.py flags, but outside the
+``serving/engine`` / ``serving/autoscale`` scope — must lint clean.
+
+Never imported at runtime — this file exists only to be linted.
+"""
+
+import random
+import time
+
+
+def now_with_jitter():
+    return time.time() + random.random()

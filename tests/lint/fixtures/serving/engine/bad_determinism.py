@@ -1,0 +1,27 @@
+"""Fixture: RPR001 violations (in scope via the serving/engine path).
+
+Never imported at runtime — this file exists only to be linted.  Lines
+marked ``# expect: CODE`` must be reported with exactly that code.
+"""
+
+import random
+import time
+from datetime import datetime
+from random import shuffle
+from time import perf_counter
+
+import numpy as np
+
+
+def jitter(events):
+    delay = random.random()  # expect: RPR001
+    shuffle(events)  # expect: RPR001
+    stamp = time.time()  # expect: RPR001
+    tick = perf_counter()  # expect: RPR001
+    when = datetime.now()  # expect: RPR001
+    noise = np.random.normal()  # expect: RPR001
+    rng = np.random.default_rng()  # expect: RPR001
+    order = [item for item in {1, 2, 3}]  # expect: RPR001
+    for replica in set(events):  # expect: RPR001
+        order.append(replica)
+    return delay, stamp, tick, when, noise, rng, order

@@ -1,0 +1,19 @@
+"""Fixture: RPR005 heap-shape violations inside engine paths.
+
+Never imported at runtime — this file exists only to be linted.
+"""
+
+import heapq
+
+
+class BadQueue:
+    def __init__(self):
+        self._heap = []
+        self._counter = 0
+
+    def push(self, event):
+        heapq.heappush(self._heap, (event.time_ms, event))  # expect: RPR005
+
+
+def schedule(heap, when, payload):
+    heapq.heappush(heap, (when, payload))  # expect: RPR005

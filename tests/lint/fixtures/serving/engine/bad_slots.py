@@ -1,0 +1,27 @@
+"""Fixture: RPR002 violations — unslotted hot-path dataclass, a
+``__dict__`` stamp on a slotted class, and a dynamic attribute write.
+
+Never imported at runtime — this file exists only to be linted.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Record:  # expect: RPR002
+    x: int
+
+
+@dataclass(frozen=True, slots=True)
+class Packed:
+    y: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "extra", 1)  # expect: RPR002
+
+
+def stamp():
+    obj = Packed.__new__(Packed)  # expect: RPR002
+    d = obj.__dict__
+    d["y"] = 1
+    return obj

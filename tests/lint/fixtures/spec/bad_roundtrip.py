@@ -1,0 +1,28 @@
+"""Fixture: RPR004 round-trip completeness violations.
+
+Never imported at runtime — this file exists only to be linted.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PartialSpec:
+    alpha: float = 1.0
+    beta: int = 2
+    gamma: str = "x"
+
+    def to_dict(self):  # expect: RPR004
+        return {"alpha": self.alpha, "beta": self.beta}
+
+    @classmethod
+    def from_dict(cls, data):  # expect: RPR004
+        return cls(alpha=data["alpha"], beta=data["beta"])
+
+
+@dataclass(frozen=True)
+class OneWaySpec:  # expect: RPR004
+    value: int = 0
+
+    def to_dict(self):
+        return {"value": self.value}

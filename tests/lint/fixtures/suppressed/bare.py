@@ -1,0 +1,20 @@
+"""Fixture: RPR000 suppression hygiene — a bare suppression (no reason)
+and a suppression naming an unregistered code.
+
+Never imported at runtime — this file exists only to be linted.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SloppySpec:
+    alpha: float = 1.0
+    beta: int = 0
+
+    def to_dict(self):  # repro-lint: disable=RPR004
+        return {"alpha": self.alpha}
+
+    @classmethod
+    def from_dict(cls, data):  # repro-lint: disable=RPR999 -- not a registered code
+        return cls(**data)

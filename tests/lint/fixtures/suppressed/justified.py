@@ -1,0 +1,20 @@
+"""Fixture: a real RPR004 violation waived by a justified suppression —
+must lint clean.
+
+Never imported at runtime — this file exists only to be linted.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    alpha: float = 1.0
+    legacy: int = 0
+
+    def to_dict(self):  # repro-lint: disable=RPR004 -- legacy field is intentionally absent from the v0 wire format
+        return {"alpha": self.alpha}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)

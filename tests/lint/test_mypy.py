@@ -1,0 +1,23 @@
+"""Strict-mypy gate on the two contract modules (spec.py, events.py).
+
+mypy is an optional tool dependency: the static-analysis CI job installs
+it, while environments without it skip this test (the AST linter and the
+runtime round-trip tests still run everywhere).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api", reason="mypy not installed")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_contract_modules_pass_strict_mypy() -> None:
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO_ROOT / "mypy.ini")]
+    )
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"

@@ -225,6 +225,43 @@ class TestServe:
         assert spec.workload.num_queries == 30
 
 
+class TestLint:
+    def test_src_tree_is_clean(self, capsys):
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+        assert "lint-clean" in capsys.readouterr().out
+
+    def test_default_path_is_src(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint"]) == 0
+        assert "lint-clean" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero_with_codes(self, capsys):
+        fixture = REPO_ROOT / "tests" / "lint" / "fixtures" / "spec"
+        assert main(["lint", str(fixture)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR004" in out
+        assert "bad_roundtrip.py" in out
+
+    def test_json_format(self, capsys):
+        fixture = REPO_ROOT / "tests" / "lint" / "fixtures" / "spec"
+        assert main(["lint", "--format", "json", str(fixture)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts_by_code"] == {"RPR004": 3}
+
+    def test_select_filters_codes(self, capsys):
+        fixture = REPO_ROOT / "tests" / "lint" / "fixtures" / "spec"
+        assert main(["lint", "--select", "RPR001", str(fixture)]) == 0
+
+    def test_unknown_code_fails_cleanly(self, capsys):
+        assert main(["lint", "--select", "RPR777", "src"]) == 2
+        assert "RPR777" in capsys.readouterr().err
+
+    def test_missing_path_fails_cleanly(self, capsys):
+        assert main(["lint", "/no/such/tree"]) == 2
+        assert "lint:" in capsys.readouterr().err
+
+
 class TestModuleEntryPoint:
     def test_schema_prints_field_reference(self, capsys):
         assert main(["schema"]) == 0

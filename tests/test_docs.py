@@ -1,12 +1,15 @@
 """Docs stay in sync with the code: schema reference, links, scenarios.
 
-Three guarantees:
+Four guarantees:
 
 * ``docs/scenario-schema.md`` documents every field and every enum value
   that :func:`repro.serving.spec.scenario_schema` (the source of truth
   behind ``python -m repro schema``) exposes — adding a spec field without
   documenting it fails here.
 * ``docs/experiments.md`` documents every registered experiment id.
+* ``docs/invariants.md`` round-trips exactly against the invariant
+  linter's registered checker codes (``repro.lint``) — a new checker
+  must be documented, and phantom codes cannot linger in the docs.
 * Relative links in the markdown tree resolve and every checked-in
   scenario JSON round-trips exactly (shared with CI via
   ``tools/check_docs.py``).
@@ -82,6 +85,39 @@ class TestExperimentsDocSync:
         spans = code_spans(text)
         missing = sorted(set(EXPERIMENTS) - spans)
         assert not missing, f"experiments missing from docs/experiments.md: {missing}"
+
+
+class TestInvariantsDocSync:
+    def test_codes_round_trip_against_registry(self):
+        from repro.lint import checker_codes
+
+        text = (DOCS / "invariants.md").read_text(encoding="utf-8")
+        documented = set(re.findall(r"RPR\d{3}", text))
+        registered = set(checker_codes())
+        assert documented == registered, (
+            f"docs/invariants.md vs repro.lint registry drift — "
+            f"undocumented: {sorted(registered - documented)}, "
+            f"phantom: {sorted(documented - registered)}"
+        )
+
+    def test_every_code_has_a_runtime_backstop_column(self):
+        from repro.lint import checker_codes
+
+        text = (DOCS / "invariants.md").read_text(encoding="utf-8")
+        for code in checker_codes():
+            row = next(
+                (
+                    line
+                    for line in text.splitlines()
+                    if line.startswith(f"| `{code}`")
+                ),
+                None,
+            )
+            assert row is not None, f"no table row for {code} in invariants.md"
+            backstop = row.rstrip("|").rsplit("|", 1)[-1]
+            assert "tests/" in backstop, (
+                f"{code}'s table row names no runtime backstop test"
+            )
 
 
 class TestCheckDocsTool:

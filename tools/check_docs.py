@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Docs health check: cross-reference links + scenario JSON round-trips.
+"""Docs health check: links, scenario round-trips, lint-code sync.
 
-Two checks, run by the CI ``docs`` job and the tier-1 docs tests:
+Three checks, run by the CI ``docs`` job and the tier-1 docs tests:
 
 1. **Link check** — every relative markdown link in ``README.md``,
    ``ROADMAP.md`` and ``docs/*.md`` must point at a file that exists
@@ -10,6 +10,10 @@ Two checks, run by the CI ``docs`` job and the tier-1 docs tests:
 2. **Scenario round-trips** — every ``examples/scenarios/*.json`` must
    parse into a valid :class:`ScenarioSpec` and survive
    ``from_dict(to_dict(spec)) == spec`` exactly.
+3. **Invariant-code sync** — the ``RPR###`` codes referenced in
+   ``docs/invariants.md`` must round-trip exactly against the checkers
+   registered in :mod:`repro.lint`: every registered code documented,
+   no phantom codes documented.
 
 Usage::
 
@@ -80,15 +84,40 @@ def check_scenarios() -> list[str]:
     return errors
 
 
+def check_invariant_codes() -> list[str]:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.lint import checker_codes
+
+    doc = REPO_ROOT / "docs" / "invariants.md"
+    if not doc.exists():
+        return ["docs/invariants.md is missing"]
+    documented = set(re.findall(r"RPR\d{3}", doc.read_text(encoding="utf-8")))
+    registered = set(checker_codes())
+    errors = []
+    for code in sorted(registered - documented):
+        errors.append(
+            f"docs/invariants.md: registered lint code {code} is undocumented"
+        )
+    for code in sorted(documented - registered):
+        errors.append(
+            f"docs/invariants.md: references {code}, which is not a "
+            "registered checker"
+        )
+    return errors
+
+
 def main() -> int:
-    errors = check_links() + check_scenarios()
+    errors = check_links() + check_scenarios() + check_invariant_codes()
     docs = len(iter_doc_files())
     if errors:
         for error in errors:
             print(f"FAIL {error}")
         print(f"{len(errors)} problem(s) across {docs} docs")
         return 1
-    print(f"docs OK: {docs} markdown files link-checked, scenarios round-trip")
+    print(
+        f"docs OK: {docs} markdown files link-checked, scenarios "
+        "round-trip, lint codes in sync"
+    )
     return 0
 
 
