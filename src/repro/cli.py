@@ -27,6 +27,13 @@ drift from the code; the prose companion is ``docs/scenario-schema.md``.
 ``lint`` runs the AST-based invariant linter (codes RPR001–RPR005; see
 ``docs/invariants.md``) over ``src/`` by default and exits nonzero on any
 violation — CI runs it in the ``static-analysis`` job.
+
+Observability (see ``docs/observability.md``): ``serve --trace FILE``
+attaches the flight recorder and writes a Chrome trace-event JSON
+(Perfetto-loadable); ``--metrics FILE`` writes a metrics timeseries (CSV
+or JSON by extension).  ``run --trace/--metrics`` does the same for
+experiments that expose a ``trace_scenario()`` hook.  ``trace summarize
+FILE`` prints a text summary of an exported trace.
 """
 
 from __future__ import annotations
@@ -86,6 +93,61 @@ def _jsonable(value: object) -> object:
     return repr(value)
 
 
+def _observed_spec(spec, *, want_trace: bool, want_metrics: bool):  # type: ignore[no-untyped-def]
+    """The spec with observability forced on for the requested exports."""
+    import dataclasses
+
+    from repro.serving.spec import ObservabilitySpec
+
+    if not (want_trace or want_metrics):
+        return spec
+    current = spec.observability
+    # Metrics export needs the recorder too: without an autoscaler there is
+    # no snapshot history, so the timeseries is derived from the trace.
+    observability = ObservabilitySpec(
+        trace=True,
+        keep_metrics=want_metrics
+        or (current.keep_metrics if current is not None else False),
+        metrics_interval_ms=(
+            current.metrics_interval_ms if current is not None else None
+        ),
+    )
+    return dataclasses.replace(spec, observability=observability)
+
+
+def _write_observability(result, spec, *, trace_path, metrics_path) -> int:  # type: ignore[no-untyped-def]
+    """Export the run's recorded trace / metrics timeseries to files."""
+    from repro.serving.obs import (
+        metrics_rows,
+        snapshot_rows,
+        write_chrome_trace,
+        write_metrics,
+    )
+
+    interval = None
+    if spec.observability is not None:
+        interval = spec.observability.metrics_interval_ms
+    try:
+        if trace_path:
+            write_chrome_trace(trace_path, result.trace)
+            print(f"wrote {trace_path}")
+        if metrics_path:
+            # Prefer the autoscaler's own snapshot history (the policy's
+            # actual inputs); static pools fall back to trace-derived rows.
+            rows = (
+                snapshot_rows(result.metrics)
+                if result.metrics
+                else metrics_rows(result.trace, interval_ms=interval)
+            )
+            write_metrics(metrics_path, rows)
+            print(f"wrote {metrics_path}")
+    except OSError as exc:
+        path = trace_path or metrics_path
+        print(f"cannot write {path}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.registry import get_experiment
 
@@ -128,6 +190,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"cannot write {args.json}: {exc}", file=sys.stderr)
             return 2
         print(f"wrote {args.json}")
+    if args.trace or args.metrics:
+        # Experiments opt into tracing by exposing a trace_scenario() hook
+        # returning the representative ScenarioSpec to record.
+        trace_scenario = getattr(experiment.module, "trace_scenario", None)
+        if trace_scenario is None:
+            print(
+                f"experiment {args.experiment_id!r} has no trace_scenario() "
+                "hook; --trace/--metrics are unavailable for it",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.serving.api import run_scenario
+
+        spec = _observed_spec(
+            trace_scenario(),
+            want_trace=bool(args.trace),
+            want_metrics=bool(args.metrics),
+        )
+        traced = run_scenario(spec)
+        return _write_observability(
+            traced, spec, trace_path=args.trace, metrics_path=args.metrics
+        )
     return 0
 
 
@@ -148,8 +232,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.dump_spec:
         print(spec.to_json())
         return 0
+    spec = _observed_spec(
+        spec, want_trace=bool(args.trace), want_metrics=bool(args.metrics)
+    )
     result = run_scenario(spec)
     print(format_result_summary(spec, result))
+    if args.trace or args.metrics:
+        return _write_observability(
+            result, spec, trace_path=args.trace, metrics_path=args.metrics
+        )
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.serving.obs import summarize_chrome_trace
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        print(f"invalid trace: {args.file} has no traceEvents", file=sys.stderr)
+        return 2
+    print(summarize_chrome_trace(payload))
     return 0
 
 
@@ -173,6 +280,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     print(format_json(result) if args.format == "json" else format_text(result))
     return 0 if result.ok else 1
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "record per-query lifecycle spans and write a Chrome "
+            "trace-event JSON (loadable in Perfetto) to FILE"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help=(
+            "write a metrics timeseries (queue depth, utilization, drop "
+            "rate, batch occupancy) to FILE — CSV if it ends in .csv, "
+            "JSON otherwise"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -206,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
             "print the top 10 functions by cumulative time"
         ),
     )
+    _add_observability_args(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     serve_p = sub.add_parser(
@@ -230,7 +358,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the effective spec JSON (after overrides) and exit",
     )
+    _add_observability_args(serve_p)
     serve_p.set_defaults(func=_cmd_serve)
+
+    trace_p = sub.add_parser(
+        "trace", help="inspect exported Chrome trace JSON files"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    summarize_p = trace_sub.add_parser(
+        "summarize", help="print a text summary of an exported trace"
+    )
+    summarize_p.add_argument(
+        "file", help="Chrome trace-event JSON written by --trace"
+    )
+    summarize_p.set_defaults(func=_cmd_trace_summarize)
 
     schema_p = sub.add_parser(
         "schema",

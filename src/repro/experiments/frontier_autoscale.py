@@ -61,6 +61,11 @@ class FrontierPoint:
     """Per replica group: (label, cost_weight, replica_seconds consumed) —
     kept in the JSON artifact so frontiers stay comparable across PRs as
     pools grow heterogeneous."""
+    scaling_events: tuple = ()
+    """The autoscaler's full :class:`ScalingEvent` log (empty for static
+    pools) — kept in the JSON artifact so every point carries the control
+    decisions (group, policy desired size, clamps, budget trims) that
+    produced its frontier position."""
 
 
 @dataclass(frozen=True)
@@ -332,6 +337,7 @@ def run(
                 ),
                 weighted_replica_seconds=result.weighted_replica_seconds,
                 group_costs=group_costs(spec, result),
+                scaling_events=() if report is None else report.events,
             )
         )
     return FrontierResult(
@@ -339,6 +345,55 @@ def run(
         policy=policy,
         num_queries=num_queries,
         points=tuple(points),
+    )
+
+
+def trace_scenario(
+    supernet_name: str = "ofa_mobilenetv3",
+    *,
+    policy: Policy = Policy.STRICT_LATENCY,
+    num_queries: int = 600,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The cell ``repro run frontier_autoscale --trace`` flight-records.
+
+    One reactive autoscaling cell of the sweep (queue threshold 2) over the
+    same diurnal + flash-crowd trace — the configuration whose scale-up
+    lag and drop clusters the recorder's decision explanations are built
+    to make visible.
+    """
+    stack = SushiStack(
+        SushiStackConfig(supernet_name=supernet_name, policy=policy, seed=seed)
+    )
+    unit_ms = float(stack.table.latencies_ms.min())
+    acc_range, lat_range = feasible_ranges_from_table(stack.table)
+    control_interval = 20.0 * unit_ms
+    return _scenario(
+        name="reactive-q2",
+        supernet_name=supernet_name,
+        policy=policy,
+        stack=stack,
+        workload=WorkloadSpec(
+            num_queries=num_queries,
+            accuracy_range=acc_range,
+            latency_range_ms=lat_range,
+            pattern="bursty",
+        ),
+        arrivals=ArrivalSpec(
+            kind="time_varying",
+            segments=diurnal_flash_segments(unit_ms),
+            seed=seed,
+        ),
+        count=1,
+        autoscaler=AutoscalerSpec(
+            policy="reactive",
+            max_queue_per_replica=2.0,
+            control_interval_ms=control_interval,
+            min_replicas=1,
+            max_replicas=6,
+            down_cooldown_ms=2.0 * control_interval,
+        ),
+        seed=seed,
     )
 
 

@@ -56,6 +56,11 @@ class PredictivePoint:
     peak_replicas: int
     drop_rate: float
     num_scale_ups: int
+    scaling_events: tuple = ()
+    """The autoscaler's full :class:`ScalingEvent` log (empty for static
+    pools) — kept in the JSON artifact so every point carries the control
+    decisions (group, policy desired size, clamps, budget trims) that
+    produced its frontier position."""
 
 
 @dataclass(frozen=True)
@@ -276,6 +281,7 @@ def run(
                 ),
                 drop_rate=result.drop_rate,
                 num_scale_ups=0 if report is None else report.num_scale_ups,
+                scaling_events=() if report is None else report.events,
             )
         )
     return PredictiveFrontierResult(
@@ -284,6 +290,56 @@ def run(
         num_queries=num_queries,
         startup_delays_ms=delays_ms,
         points=tuple(points),
+    )
+
+
+def trace_scenario(
+    supernet_name: str = "ofa_mobilenetv3",
+    *,
+    policy: Policy = Policy.STRICT_LATENCY,
+    num_queries: int = 600,
+    startup_delay_units: float = 12.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The cell ``repro run frontier_predictive --trace`` flight-records.
+
+    The predictive policy at the sweep's nonzero cold-start delay — the
+    configuration where PROVISIONING segments and forecast-driven early
+    scale-ups show up on the recorder's replica timelines.
+    """
+    stack = SushiStack(
+        SushiStackConfig(supernet_name=supernet_name, policy=policy, seed=seed)
+    )
+    unit_ms = float(stack.table.latencies_ms.min())
+    acc_range, lat_range = feasible_ranges_from_table(stack.table)
+    control_interval = 2.5 * unit_ms
+    return _scenario(
+        name=f"predictive-d{startup_delay_units:g}",
+        supernet_name=supernet_name,
+        policy=policy,
+        stack=stack,
+        workload=WorkloadSpec(
+            num_queries=num_queries,
+            accuracy_range=acc_range,
+            latency_range_ms=lat_range,
+            pattern="bursty",
+        ),
+        arrivals=ArrivalSpec(
+            kind="time_varying",
+            segments=diurnal_ramp_segments(unit_ms),
+            seed=seed,
+        ),
+        count=1,
+        startup_delay_ms=startup_delay_units * unit_ms,
+        autoscaler=AutoscalerSpec(
+            policy="predictive",
+            target_utilization=0.55,
+            control_interval_ms=control_interval,
+            min_replicas=1,
+            max_replicas=6,
+            down_cooldown_ms=2.0 * control_interval,
+        ),
+        seed=seed,
     )
 
 

@@ -4,8 +4,9 @@ The engine's record-identity ladder (see ``docs/architecture.md``) only
 holds if every source of ordering and randomness is explicit: simulation
 time comes from the event loop, randomness from seeded
 ``numpy.random.Generator`` instances, and iteration order from
-insertion-ordered structures.  Inside ``serving/engine/`` and
-``serving/autoscale/`` this checker flags:
+insertion-ordered structures.  Inside ``serving/engine/``,
+``serving/autoscale/`` and ``serving/obs/`` (the flight recorder sits on
+the hot path and its exports must be byte-stable) this checker flags:
 
 * calls into the *global* ``random`` module (``random.random()``,
   ``from random import shuffle`` + ``shuffle(...)``) — use a seeded
@@ -69,9 +70,9 @@ class DeterminismChecker(Checker):
     name = "determinism"
     description = (
         "no global RNG draws, wall-clock reads, or set-ordered iteration "
-        "inside serving/engine and serving/autoscale"
+        "inside serving/engine, serving/autoscale and serving/obs"
     )
-    scope = ("serving/engine", "serving/autoscale")
+    scope = ("serving/engine", "serving/autoscale", "serving/obs")
 
     def check(
         self, module: ModuleSource, project: ProjectIndex

@@ -37,10 +37,12 @@ from repro.serving.autoscale import (
     ScalingEvent,
     TelemetryBus,
 )
+from repro.serving.obs import RecordedTrace, TraceRecorder
 from repro.serving.spec import (
     ArrivalSpec,
     AutoscalerSpec,
     BatchingSpec,
+    ObservabilitySpec,
     ReplicaGroupSpec,
     ScenarioSpec,
     scenario_schema,
@@ -76,11 +78,14 @@ __all__ = [
     "AutoscaleReport",
     "AutoscalerSpec",
     "BatchingSpec",
+    "ObservabilitySpec",
+    "RecordedTrace",
     "ReplicaGroupSpec",
     "ScaledGroup",
     "ScalingEvent",
     "ScenarioSpec",
     "TelemetryBus",
+    "TraceRecorder",
     "build_engine",
     "build_trace",
     "format_result_summary",

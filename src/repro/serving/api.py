@@ -322,7 +322,7 @@ def build_engine(
             ),
         )
         scalable_indices = dict(scaled_positions)
-    return ServingEngine(
+    engine = ServingEngine(
         replicas,
         router=spec.router,
         admission=spec.admission,
@@ -330,6 +330,14 @@ def build_engine(
         autoscaler=autoscaler,
         scalable_indices=scalable_indices,
     )
+    if spec.observability is not None:
+        if spec.observability.trace:
+            from repro.serving.obs import TraceRecorder
+
+            engine.recorder = TraceRecorder()
+        if autoscaler is not None:
+            autoscaler.keep_metrics = spec.observability.keep_metrics
+    return engine
 
 
 def run_scenario(

@@ -87,7 +87,12 @@ class GroupLoad:
 
 @dataclass(frozen=True, slots=True)
 class ScalingEvent:
-    """One enacted (or attempted) scaling decision."""
+    """One enacted (or attempted) scaling decision.
+
+    The three ``*_desired`` fields explain the decision pipeline: what the
+    policy asked for raw, after the ``[min, max]`` clamp, and after the
+    cost-budget trim.  ``to_replicas`` is what survived cooldowns.
+    """
 
     time_ms: float
     action: str
@@ -97,6 +102,12 @@ class ScalingEvent:
     reason: str
     group: str | None = None
     """Scaled group the event applies to (None for a single unnamed group)."""
+    policy_desired: int | None = None
+    """Raw size the policy asked for, before any clamp."""
+    clamped_desired: int | None = None
+    """Desired size after the per-group ``[min, max]`` clamp."""
+    budget_desired: int | None = None
+    """Desired size after the pool-wide cost-budget trim."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -238,6 +249,13 @@ class AutoscaleController:
         self._last_up_ms = -float("inf")
         self._last_down_ms = -float("inf")
         self._peak = 0
+        self.recorder = None
+        """Optional flight recorder (duck-typed ``TraceRecorder``); when
+        set, every control tick emits one decision record per group."""
+        self.keep_metrics = False
+        """When True, every tick's :class:`MetricsSnapshot` is appended to
+        :attr:`metrics_history` (opt-in via ``ObservabilitySpec``)."""
+        self.metrics_history: list[MetricsSnapshot] = []
 
     # ---------------------------------------------------------------- groups
     @property
@@ -279,6 +297,8 @@ class AutoscaleController:
         ``loads`` must align with :attr:`groups` (same names, same order).
         """
         self._num_controls += 1
+        if self.keep_metrics:
+            self.metrics_history.append(snapshot)
         by_name = {load.name: load for load in loads}
         statuses = tuple(
             GroupStatus(
@@ -299,11 +319,24 @@ class AutoscaleController:
         desired_map, reason = self.policy.desired_by_group(
             snapshot, statuses, cost_budget=self.cost_budget
         )
+        # Record each decision-pipeline stage so events (and the flight
+        # recorder) can explain the final action: raw policy ask, after
+        # the [min, max] clamp, after the cost-budget trim.
+        raw = {g.name: int(desired_map[g.name]) for g in self.groups}
         desired = {
             g.name: max(g.min_replicas, min(g.max_replicas, desired_map[g.name]))
             for g in self.groups
         }
+        clamped = dict(desired)
         self._enforce_budget(desired, statuses)
+        budgeted = dict(desired)
+
+        def stages(name: str | None) -> dict[str, int]:
+            return {
+                "policy_desired": raw[name],
+                "clamped_desired": clamped[name],
+                "budget_desired": budgeted[name],
+            }
 
         now = snapshot.time_ms
         ups = [g for g in self.groups if desired[g.name] > by_name[g.name].num_incoming]
@@ -311,14 +344,16 @@ class AutoscaleController:
         # Cooldowns are directional and pool-wide; a blocked change is
         # logged per group (same from/to units as scale events) so the
         # event log can always be replayed group by group.
+        held: list[ScaledGroup] = []
         if ups and now - self._last_up_ms < self.up_cooldown_ms:
             for g in ups:
                 incoming = by_name[g.name].num_incoming
                 desired[g.name] = incoming
                 self._log(
                     now, "held", incoming, incoming,
-                    f"up cooldown ({reason})", group=g.name,
+                    f"up cooldown ({reason})", group=g.name, **stages(g.name),
                 )
+            held += ups
             ups = []
         if downs and now - self._last_down_ms < self.down_cooldown_ms:
             for g in downs:
@@ -326,8 +361,9 @@ class AutoscaleController:
                 desired[g.name] = incoming
                 self._log(
                     now, "held", incoming, incoming,
-                    f"down cooldown ({reason})", group=g.name,
+                    f"down cooldown ({reason})", group=g.name, **stages(g.name),
                 )
+            held += downs
             downs = []
         if ups:
             self._last_up_ms = now
@@ -336,13 +372,38 @@ class AutoscaleController:
         for g in ups:
             self._log(
                 now, "scale_up", by_name[g.name].num_incoming, desired[g.name],
-                reason, group=g.name,
+                reason, group=g.name, **stages(g.name),
             )
         for g in downs:
             self._log(
                 now, "scale_down", by_name[g.name].num_incoming, desired[g.name],
-                reason, group=g.name,
+                reason, group=g.name, **stages(g.name),
             )
+        if self.recorder is not None:
+            for g in self.groups:
+                if g in ups:
+                    action = "scale_up"
+                elif g in downs:
+                    action = "scale_down"
+                elif g in held:
+                    action = "held"
+                else:
+                    action = "hold"
+                load = by_name[g.name]
+                self.recorder.on_decision(
+                    time_ms=now,
+                    group=g.name,
+                    policy=self.policy.name,
+                    reason=reason,
+                    num_active=load.num_active,
+                    num_provisioning=load.num_provisioning,
+                    num_draining=load.num_draining,
+                    queue_depth=load.queue_depth,
+                    final_desired=desired[g.name],
+                    action=action,
+                    snapshot=snapshot,
+                    **stages(g.name),
+                )
         self._peak = max(self._peak, sum(desired.values()))
         return desired
 
@@ -379,6 +440,9 @@ class AutoscaleController:
         reason: str,
         *,
         group: str | None = None,
+        policy_desired: int | None = None,
+        clamped_desired: int | None = None,
+        budget_desired: int | None = None,
     ) -> None:
         self._events.append(
             ScalingEvent(
@@ -388,6 +452,9 @@ class AutoscaleController:
                 to_replicas=to_n,
                 reason=reason,
                 group=group,
+                policy_desired=policy_desired,
+                clamped_desired=clamped_desired,
+                budget_desired=budget_desired,
             )
         )
 
@@ -411,6 +478,7 @@ class AutoscaleController:
         self._last_up_ms = -float("inf")
         self._last_down_ms = -float("inf")
         self._peak = 0
+        self.metrics_history.clear()
 
     def report(
         self,

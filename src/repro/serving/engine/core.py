@@ -151,6 +151,7 @@ def _serve_pickup(
     admission: AdmissionPolicy,
     dts: bool,
     bus,
+    recorder=None,
 ) -> float | None:
     """Pull the replica's next admissible batch and start serving it.
 
@@ -176,6 +177,8 @@ def _serve_pickup(
         dropped.append(_drop_item(item, replica, now))
         if bus is not None:
             bus.on_drop(now)
+        if recorder is not None:
+            recorder.on_dropped(dropped[-1])
     if not batch:
         return None
 
@@ -205,6 +208,8 @@ def _serve_pickup(
                 dropped.append(_drop_item(item, replica, t))
                 if bus is not None:
                     bus.on_drop(t)
+                if recorder is not None:
+                    recorder.on_dropped(dropped[-1])
                 continue
             effective: float | None = None
             if dts:
@@ -274,7 +279,9 @@ def _serve_pickup(
 
 
 def _complete_inservice(
-    replica: AcceleratorReplica, outcomes: list[SimulatedQueryOutcome]
+    replica: AcceleratorReplica,
+    outcomes: list[SimulatedQueryOutcome],
+    recorder=None,
 ) -> None:
     """Emit outcomes and stats for the replica's finished pickup."""
     current = replica.in_service
@@ -284,24 +291,26 @@ def _complete_inservice(
     stats = replica.stats
     size = current.size
     append = outcomes.append
+    rec_served = None if recorder is None else recorder.on_served
     for item, record, start, service in zip(
         current.items, current.records, current.starts, current.services
     ):
         # Records were stamped with the replica index at dispatch, so
         # completion allocates nothing beyond the outcome itself.
-        append(
-            SimulatedQueryOutcome(
-                query_index=item.query.index,
-                arrival_ms=item.arrival_ms,
-                start_ms=start,
-                service_ms=service,
-                latency_constraint_ms=item.query.latency_constraint_ms,
-                served_accuracy=record.served_accuracy,
-                replica_index=ridx,
-                record=record,
-                batch_size=size,
-            )
+        outcome = SimulatedQueryOutcome(
+            query_index=item.query.index,
+            arrival_ms=item.arrival_ms,
+            start_ms=start,
+            service_ms=service,
+            latency_constraint_ms=item.query.latency_constraint_ms,
+            served_accuracy=record.served_accuracy,
+            replica_index=ridx,
+            record=record,
+            batch_size=size,
         )
+        append(outcome)
+        if rec_served is not None:
+            rec_served(outcome)
         stats.queueing_ms_total += start - item.arrival_ms
     stats.num_served += size
     stats.busy_ms += current.total_ms
@@ -319,6 +328,7 @@ def _fast_drain(
     *,
     seqs: Sequence[int] | None = None,
     fixed_replica: AcceleratorReplica | None = None,
+    recorder=None,
 ) -> tuple[list[SimulatedQueryOutcome], list[DroppedQuery], float]:
     """The static-pool fast event loop (no autoscaler).
 
@@ -354,6 +364,10 @@ def _fast_drain(
     out_append = outcomes.append
     drop_append = dropped.append
     out_new = SimulatedQueryOutcome.__new__
+    # Flight-recorder hooks, hoisted so the recorder-off loop pays exactly
+    # one ``is not None`` check per served/dropped query and nothing else.
+    rec_served = None if recorder is None else recorder.on_served
+    rec_dropped = None if recorder is None else recorder.on_dropped
     tie = 0
 
     def serve_one(replica: AcceleratorReplica, item: QueuedQuery, now: float) -> None:
@@ -397,12 +411,15 @@ def _fast_drain(
                         replica_index=replica.index,
                     )
                 )
+                if rec_dropped is not None:
+                    rec_dropped(dropped[-1])
                 item = pop_next()
             if item is not None:
                 serve_one(replica, item, now)
         else:
             completion = _serve_pickup(
-                replica, now, dropped, admission=admission, dts=dts, bus=None
+                replica, now, dropped, admission=admission, dts=dts, bus=None,
+                recorder=recorder,
             )
             if completion is not None:
                 heappush_(heap, (completion, tie, replica.index, None))
@@ -433,7 +450,7 @@ def _fast_drain(
             )
             payload = entry[3]
             if payload is None:
-                _complete_inservice(replica, outcomes)
+                _complete_inservice(replica, outcomes, recorder)
             else:
                 item, record, start, service = payload
                 query = item.query
@@ -453,6 +470,8 @@ def _fast_drain(
                 d["record"] = record
                 d["batch_size"] = 1
                 out_append(outcome)
+                if rec_served is not None:
+                    rec_served(outcome)
                 stats = replica.stats
                 stats.queueing_ms_total += start - item.arrival_ms
                 stats.num_served += 1
@@ -491,6 +510,8 @@ def _fast_drain(
                         replica_index=replica.index,
                     )
                 )
+                if rec_dropped is not None:
+                    rec_dropped(dropped[-1])
             continue
         if needs_estimates:
             # Replica-specific, attached after routing — see _drain.
@@ -620,6 +641,11 @@ class ServingEngine:
             r.queue.needs_service_estimates for r in self.replicas
         )
         self._run_end_ms = 0.0
+        self.recorder = None
+        """Optional flight recorder (a duck-typed
+        :class:`~repro.serving.obs.TraceRecorder`).  ``None`` — the default
+        — keeps every hot loop's hook a dead ``is not None`` check, so an
+        unobserved run is bit-identical to a build without observability."""
 
     def _normalize_membership(
         self,
@@ -754,6 +780,11 @@ class ServingEngine:
             )
         if reset:
             self.reset()
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.begin_run((r.index, r.name) for r in self.replicas)
+        if self.autoscaler is not None:
+            self.autoscaler.recorder = recorder
         if shard:
             outcomes, dropped = self._run_sharded(trace, arrivals, shard_workers)
         elif fast_path and self.autoscaler is None:
@@ -765,6 +796,7 @@ class ServingEngine:
                 self._needs_estimates,
                 _query_getter(trace),
                 arrivals.tolist(),
+                recorder=recorder,
             )
             self._run_end_ms = run_end
             outcomes.sort(key=_by_query_index)
@@ -825,6 +857,9 @@ class ServingEngine:
         if reset:
             self.reset()
         replica = self.replicas[0]
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.begin_run((r.index, r.name) for r in self.replicas)
         stream_serve = getattr(replica.server, "serve", None)
         if callable(stream_serve):
             records = list(stream_serve(trace))
@@ -846,6 +881,8 @@ class ServingEngine:
                     record=record,
                 )
             )
+            if recorder is not None:
+                recorder.on_served(outcomes[-1])
             replica.stats.num_served += 1
             replica.stats.num_batches += 1
             replica.stats.busy_ms += service
@@ -1035,7 +1072,11 @@ class ServingEngine:
             for r in range(num)
         ]
         results = None
-        if workers is not None and workers > 1 and num > 1:
+        # A recorded run keeps its shards in-process: forked workers would
+        # feed child-process recorder copies whose spans never come back.
+        # Sequential sharding is bit-identical to the mp path, so forcing
+        # it changes no record.
+        if workers is not None and workers > 1 and num > 1 and self.recorder is None:
             results = self._run_shard_jobs_mp(trace, jobs, workers)
         if results is None:
             get_query = _query_getter(trace)
@@ -1050,6 +1091,7 @@ class ServingEngine:
                     sub_arr,
                     seqs=seqs,
                     fixed_replica=replica,
+                    recorder=self.recorder,
                 )
                 for replica, sub_arr, seqs in jobs
             ]
@@ -1169,13 +1211,20 @@ class ServingEngine:
                 replica.undrain()
                 needed -= 1
             ctl = self.autoscaler
+            recorder = self.recorder
             for _ in range(needed):
                 index = len(self.replicas)
                 replica = ctl.make_replica(index, group=group.name)
                 replica.assign_index(index)
                 replica.activated_ms = now
+                if recorder is not None:
+                    recorder.on_replica_created(index, replica.name, now)
                 if group.startup_delay_ms > 0:
                     replica.start_provisioning(now, now + group.startup_delay_ms)
+                    if recorder is not None:
+                        recorder.on_provisioning(
+                            index, now, now + group.startup_delay_ms
+                        )
                     heap.push(
                         Event(
                             now + group.startup_delay_ms,
@@ -1192,10 +1241,14 @@ class ServingEngine:
             # serving replicas from the end of the pool, keeping the
             # long-lived (warm) ones serving.
             excess = incoming - desired
+            recorder = self.recorder
             for replica in reversed([r for r in pool if r.provisioning]):
                 if excess == 0:
                     break
                 replica.retire(now)
+                if recorder is not None:
+                    recorder.on_provisioning_cancelled(replica.index, now)
+                    recorder.on_replica_retired(replica.index, now)
                 excess -= 1
             # is_retired filters the provisioning replicas cancelled just
             # above (retire() cleared their provisioning flag).
@@ -1212,6 +1265,8 @@ class ServingEngine:
         """Retire a draining replica once it is idle with an empty queue."""
         if replica.draining and not replica.is_busy and not len(replica.queue):
             replica.retire(now)
+            if self.recorder is not None:
+                self.recorder.on_replica_retired(replica.index, now)
 
     def _dispatch(
         self,
@@ -1237,6 +1292,7 @@ class ServingEngine:
             admission=self.admission,
             dts=self.dispatch_time_scheduling,
             bus=bus,
+            recorder=self.recorder,
         )
         if completion_ms is None:
             # A draining replica with nothing left to serve leaves the
@@ -1260,7 +1316,7 @@ class ServingEngine:
                 self.autoscaler.bus.on_completion(
                     now, replica_index=replica.index, service_ms=current.total_ms
                 )
-        _complete_inservice(replica, outcomes)
+        _complete_inservice(replica, outcomes, self.recorder)
 
     # -------------------------------------------------------------- helpers
     def _drop(
@@ -1325,6 +1381,15 @@ class ServingEngine:
                 final_replicas=sum(n for _, n in final_by_group),
                 final_by_group=final_by_group,
             )
+        trace = None
+        if self.recorder is not None:
+            trace = self.recorder.finish(
+                duration_ms=duration,
+                scaling_events=() if report is None else report.events,
+            )
+        metrics = ()
+        if self.autoscaler is not None and self.autoscaler.keep_metrics:
+            metrics = tuple(self.autoscaler.metrics_history)
         return SimulationResult(
             outcomes=tuple(outcomes),
             offered_load=offered_load,
@@ -1333,6 +1398,8 @@ class ServingEngine:
             achieved_throughput_per_ms=throughput,
             duration_ms=duration,
             autoscale=report,
+            trace=trace,
+            metrics=metrics,
         )
 
 

@@ -15,7 +15,9 @@ import numpy as np
 
 from repro.core.metrics import QueryRecord
 from repro.serving.autoscale.controller import AutoscaleReport
+from repro.serving.autoscale.telemetry import MetricsSnapshot
 from repro.serving.engine.replica import ReplicaStats
+from repro.serving.obs.recorder import RecordedTrace
 
 
 @dataclass(frozen=True)
@@ -96,6 +98,11 @@ class SimulationResult:
     """Simulated run length (time of the last processed event)."""
     autoscale: AutoscaleReport | None = None
     """Control-plane summary when the run was autoscaled (None otherwise)."""
+    trace: RecordedTrace | None = None
+    """Flight-recorder trace when the run was observed (None otherwise)."""
+    metrics: tuple[MetricsSnapshot, ...] = ()
+    """Per-control-tick telemetry snapshots when ``ObservabilitySpec``
+    asked to keep them (empty otherwise)."""
 
     @property
     def num_served(self) -> int:

@@ -1,0 +1,283 @@
+"""Flight recorder: per-query spans, replica timelines, control decisions.
+
+:class:`TraceRecorder` is the opt-in observability hook the serving engine
+and the autoscale controller feed while a run executes.  It is deliberately
+duck-typed against the engine's result objects (outcomes, drops) so this
+package imports nothing from ``repro.serving.engine`` — the engine can
+attach a recorder without creating an import cycle, and every hook site in
+the hot loops stays a single ``recorder is not None`` check: with no
+recorder attached the engine's behaviour and records are bit-identical to
+a build without this package.
+
+The recorder accumulates raw events during the run; :meth:`TraceRecorder.finish`
+freezes them into a :class:`RecordedTrace` of derived, immutable spans and
+timelines.  Every timestamp is simulated milliseconds from the engine's
+clock — never wall-clock — so traces are deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpan:
+    """Lifecycle of one offered query: arrival -> queued -> served/dropped."""
+
+    query_index: int
+    arrival_ms: float
+    start_ms: float | None
+    """Dispatch time (None for queries dropped before dispatch)."""
+    completion_ms: float
+    """Service completion for served queries, drop time for dropped ones."""
+    replica_index: int
+    latency_constraint_ms: float
+    deadline_slack_ms: float
+    """Constraint minus response time; negative means the deadline was
+    missed (always negative for deadline-expired drops)."""
+    batch_size: int
+    """Dispatch pickup size the query was served in (0 for drops)."""
+    subnet_name: str | None
+    """SubNet the stack chose, when the backend produced a record."""
+    status: str
+    """``served`` or ``dropped``."""
+    drop_reason: str | None = None
+
+    @property
+    def queueing_ms(self) -> float:
+        end = self.completion_ms if self.start_ms is None else self.start_ms
+        return end - self.arrival_ms
+
+    @property
+    def response_ms(self) -> float:
+        return self.completion_ms - self.arrival_ms
+
+
+@dataclass(frozen=True, slots=True)
+class ProvisioningSegment:
+    """One PROVISIONING interval of a scale-up replica."""
+
+    replica_index: int
+    start_ms: float
+    ready_ms: float
+    """Scheduled readiness time (cold start complete)."""
+    cancelled_ms: float | None = None
+    """Set when a scale-down reclaimed the replica before it went ready."""
+
+    @property
+    def end_ms(self) -> float:
+        return self.ready_ms if self.cancelled_ms is None else self.cancelled_ms
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaTimeline:
+    """Creation-to-retirement lifetime of one replica."""
+
+    replica_index: int
+    name: str
+    created_ms: float
+    retired_ms: float | None = None
+    """None when the replica was still live at the end of the run."""
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRecord:
+    """Why one control tick did what it did, for one scaled group.
+
+    The desired-size pipeline is recorded stage by stage: what the policy
+    asked for raw (``policy_desired``), after the min/max clamp
+    (``clamped_desired``), after the cost-budget trim (``budget_desired``),
+    and what survived cooldowns (``final_desired``).  ``snapshot`` is the
+    :class:`~repro.serving.autoscale.telemetry.MetricsSnapshot` the policy
+    saw — the full inputs of the decision.
+    """
+
+    time_ms: float
+    group: str | None
+    policy: str
+    reason: str
+    num_active: int
+    num_provisioning: int
+    num_draining: int
+    queue_depth: int
+    policy_desired: int
+    clamped_desired: int
+    budget_desired: int
+    final_desired: int
+    action: str
+    """``scale_up`` / ``scale_down`` / ``held`` (cooldown) / ``hold``."""
+    snapshot: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class RecordedTrace:
+    """Everything the flight recorder saw during one run, frozen."""
+
+    spans: tuple[QuerySpan, ...]
+    """Per-query lifecycle spans, sorted by query index."""
+    replicas: tuple[ReplicaTimeline, ...]
+    provisioning: tuple[ProvisioningSegment, ...]
+    decisions: tuple[DecisionRecord, ...]
+    scaling_events: tuple[Any, ...]
+    """The controller's :class:`ScalingEvent` log (duck-typed)."""
+    duration_ms: float
+
+    @property
+    def num_served(self) -> int:
+        return sum(1 for s in self.spans if s.status == "served")
+
+    @property
+    def num_dropped(self) -> int:
+        return sum(1 for s in self.spans if s.status == "dropped")
+
+
+class TraceRecorder:
+    """Mutable sink the engine and controller feed during a traced run.
+
+    Hook methods are grouped by caller:
+
+    * engine data plane: :meth:`on_served`, :meth:`on_dropped`
+    * engine control plane: :meth:`on_replica_created`,
+      :meth:`on_provisioning`, :meth:`on_provisioning_cancelled`,
+      :meth:`on_replica_retired`
+    * autoscale controller: :meth:`on_decision`
+
+    A recorder records the engine's most recent run: :meth:`begin_run`
+    clears any prior state and registers the starting pool.
+    """
+
+    def __init__(self) -> None:
+        self._served: list[Any] = []
+        self._dropped: list[Any] = []
+        self._replicas: dict[int, dict[str, Any]] = {}
+        self._provisioning: list[dict[str, Any]] = []
+        self._decisions: list[DecisionRecord] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def reset(self) -> None:
+        self._served.clear()
+        self._dropped.clear()
+        self._replicas.clear()
+        self._provisioning.clear()
+        self._decisions.clear()
+
+    def begin_run(self, replicas: Iterable[tuple[int, str]]) -> None:
+        """Start recording a run whose initial pool is ``(index, name)``s."""
+        self.reset()
+        for index, name in replicas:
+            self._replicas[index] = {
+                "name": name, "created_ms": 0.0, "retired_ms": None,
+            }
+
+    # ------------------------------------------------------------ data plane
+    def on_served(self, outcome: Any) -> None:
+        """Record a completed query (a ``SimulatedQueryOutcome``)."""
+        self._served.append(outcome)
+
+    def on_dropped(self, drop: Any) -> None:
+        """Record a shed query (a ``DroppedQuery``)."""
+        self._dropped.append(drop)
+
+    # --------------------------------------------------------- control plane
+    def on_replica_created(self, index: int, name: str, now_ms: float) -> None:
+        self._replicas[index] = {
+            "name": name, "created_ms": now_ms, "retired_ms": None,
+        }
+
+    def on_provisioning(self, index: int, start_ms: float, ready_ms: float) -> None:
+        self._provisioning.append(
+            {"index": index, "start_ms": start_ms,
+             "ready_ms": ready_ms, "cancelled_ms": None}
+        )
+
+    def on_provisioning_cancelled(self, index: int, now_ms: float) -> None:
+        # A replica provisions at most once per lifetime; scan from the
+        # newest segment (reclaim cancels the most recent provision).
+        for seg in reversed(self._provisioning):
+            if seg["index"] == index and seg["cancelled_ms"] is None:
+                seg["cancelled_ms"] = now_ms
+                return
+
+    def on_replica_retired(self, index: int, now_ms: float) -> None:
+        entry = self._replicas.get(index)
+        if entry is not None:
+            entry["retired_ms"] = now_ms
+
+    def on_decision(self, **kwargs: Any) -> None:
+        """Record one per-group control-tick explanation (controller hook).
+
+        Keyword-only so the controller never imports :class:`DecisionRecord`
+        (which would cycle through this package's typing imports).
+        """
+        self._decisions.append(DecisionRecord(**kwargs))
+
+    # ---------------------------------------------------------------- finish
+    def finish(
+        self, *, duration_ms: float, scaling_events: Iterable[Any] = ()
+    ) -> RecordedTrace:
+        """Freeze the recorded run into an immutable :class:`RecordedTrace`."""
+        spans: list[QuerySpan] = []
+        for o in self._served:
+            completion = o.start_ms + o.service_ms
+            spans.append(
+                QuerySpan(
+                    query_index=o.query_index,
+                    arrival_ms=o.arrival_ms,
+                    start_ms=o.start_ms,
+                    completion_ms=completion,
+                    replica_index=o.replica_index,
+                    latency_constraint_ms=o.latency_constraint_ms,
+                    deadline_slack_ms=(
+                        o.latency_constraint_ms - (completion - o.arrival_ms)
+                    ),
+                    batch_size=o.batch_size,
+                    subnet_name=getattr(o.record, "subnet_name", None),
+                    status="served",
+                )
+            )
+        for d in self._dropped:
+            spans.append(
+                QuerySpan(
+                    query_index=d.query_index,
+                    arrival_ms=d.arrival_ms,
+                    start_ms=None,
+                    completion_ms=d.dropped_at_ms,
+                    replica_index=d.replica_index,
+                    latency_constraint_ms=d.latency_constraint_ms,
+                    deadline_slack_ms=(
+                        d.latency_constraint_ms - (d.dropped_at_ms - d.arrival_ms)
+                    ),
+                    batch_size=0,
+                    subnet_name=None,
+                    status="dropped",
+                    drop_reason=d.reason,
+                )
+            )
+        spans.sort(key=lambda s: s.query_index)
+        replicas = tuple(
+            ReplicaTimeline(
+                replica_index=index,
+                name=entry["name"],
+                created_ms=entry["created_ms"],
+                retired_ms=entry["retired_ms"],
+            )
+            for index, entry in sorted(self._replicas.items())
+        )
+        provisioning = tuple(
+            ProvisioningSegment(
+                replica_index=seg["index"],
+                start_ms=seg["start_ms"],
+                ready_ms=seg["ready_ms"],
+                cancelled_ms=seg["cancelled_ms"],
+            )
+            for seg in self._provisioning
+        )
+        return RecordedTrace(
+            spans=tuple(spans),
+            replicas=replicas,
+            provisioning=provisioning,
+            decisions=tuple(self._decisions),
+            scaling_events=tuple(scaling_events),
+            duration_ms=float(duration_ms),
+        )

@@ -63,6 +63,7 @@ __all__ = [
     "ArrivalSpec",
     "AutoscalerSpec",
     "BatchingSpec",
+    "ObservabilitySpec",
     "ReplicaGroupSpec",
     "ScenarioSpec",
     "scenario_schema",
@@ -675,6 +676,51 @@ class AutoscalerSpec:
         return cls(**payload)
 
 
+@dataclass(frozen=True)
+class ObservabilitySpec:
+    """Opt-in flight-recorder configuration (see :mod:`repro.serving.obs`).
+
+    Absent (``observability: null``), the engine attaches no recorder and
+    the run is bit-identical to a build without the obs package — the
+    record-identity ladder's observability rung.
+    """
+
+    trace: bool = True
+    """Attach a ``TraceRecorder``: ``SimulationResult.trace`` carries
+    per-query lifecycle spans, replica timelines, provisioning segments
+    and autoscaler decision records."""
+    keep_metrics: bool = False
+    """Keep the autoscaler's per-tick ``MetricsSnapshot`` history on
+    ``SimulationResult.metrics`` (autoscaled runs only; a fixed pool has
+    no control ticks to snapshot)."""
+    metrics_interval_ms: float | None = None
+    """Sampling interval of the trace-derived metrics timeseries exporter
+    (``null``: one percent of the run's duration)."""
+
+    def __post_init__(self) -> None:
+        _require(
+            self.trace or self.keep_metrics,
+            "an ObservabilitySpec must enable trace or keep_metrics "
+            "(use observability: null to turn observability off)",
+        )
+        if self.metrics_interval_ms is not None:
+            _require(
+                self.metrics_interval_ms > 0,
+                "metrics_interval_ms must be positive",
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace": self.trace,
+            "keep_metrics": self.keep_metrics,
+            "metrics_interval_ms": self.metrics_interval_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ObservabilitySpec":
+        return cls(**dict(data))
+
+
 def _workload_to_json(spec: WorkloadSpec) -> dict[str, Any]:
     out: dict[str, Any] = {}
     for f in fields(spec):
@@ -747,6 +793,13 @@ class ScenarioSpec:
         Worker processes for sharded simulation (requires ``shard``).
         ``null``/1 runs shards sequentially in-process; ``N > 1`` fans them
         out via ``multiprocessing`` (backends must be picklable).
+    observability:
+        Optional :class:`ObservabilitySpec`.  ``None`` (the default)
+        attaches no flight recorder and the run is bit-identical to a
+        build without observability; when set, ``SimulationResult.trace``
+        (and optionally ``.metrics``) carry the recorded run.  Recorded
+        sharded runs execute their shards sequentially (still
+        bit-identical) so span order stays deterministic.
     """
 
     name: str = "scenario"
@@ -767,6 +820,7 @@ class ScenarioSpec:
     fast_path: bool = False
     shard: bool = False
     shard_workers: int | None = None
+    observability: ObservabilitySpec | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.policy, str):
@@ -887,6 +941,9 @@ class ScenarioSpec:
             "fast_path": self.fast_path,
             "shard": self.shard,
             "shard_workers": self.shard_workers,
+            "observability": (
+                None if self.observability is None else self.observability.to_dict()
+            ),
         }
 
     @classmethod
@@ -904,6 +961,10 @@ class ScenarioSpec:
             payload["arrivals"] = ArrivalSpec.from_dict(payload["arrivals"])
         if payload.get("autoscaler") is not None:
             payload["autoscaler"] = AutoscalerSpec.from_dict(payload["autoscaler"])
+        if payload.get("observability") is not None:
+            payload["observability"] = ObservabilitySpec.from_dict(
+                payload["observability"]
+            )
         return cls(**payload)
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -957,6 +1018,7 @@ def scenario_schema() -> dict[str, Any]:
             "workload": _workload_to_json(WorkloadSpec()),
             "arrivals": ArrivalSpec(kind="poisson", rate_per_ms=0.1).to_dict(),
             "autoscaler": AutoscalerSpec().to_dict(),
+            "observability": ObservabilitySpec().to_dict(),
         },
         "enums": {
             "policy": [p.value for p in Policy],

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file exported by ``--trace``.
+
+Structural checks against the trace-event format (the subset the flight
+recorder emits; see ``docs/observability.md``):
+
+1. The payload is an object with a non-empty ``traceEvents`` array.
+2. Every event has ``ph``/``pid`` and the per-phase required keys:
+   ``M`` metadata carry ``name`` + ``args.name``; ``b``/``e`` async
+   spans carry ``cat``/``id``/``ts``; ``X`` complete events carry
+   ``ts``/``dur``; ``i`` instants carry ``ts`` and a scope ``s``.
+3. At least one ``thread_name`` metadata event (a replica track).
+4. Timestamps and durations are finite and non-negative.
+5. Async spans balance: every ``(cat, id)`` opens with ``b`` exactly
+   once, closes with ``e`` exactly once, and ends no earlier than it
+   starts.
+
+Usage::
+
+    python tools/validate_trace.py trace.json
+
+Exits 0 when the trace is well-formed, 1 with a per-finding report
+otherwise (2 on unreadable/unparsable input).  Stdlib only — CI runs it
+in the ``cli-smoke`` job against a freshly served scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+_REQUIRED_BY_PHASE = {
+    "M": ("name",),
+    "b": ("cat", "id", "ts"),
+    "e": ("cat", "id", "ts"),
+    "X": ("ts", "dur"),
+    "i": ("ts", "s"),
+}
+
+
+def _finite_nonneg(value: object) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value) and value >= 0
+
+
+def validate_trace(payload: object) -> list[str]:
+    """All structural problems with ``payload``; empty means well-formed."""
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents is missing, not an array, or empty"]
+
+    problems: list[str] = []
+    thread_names = 0
+    opens: dict[tuple[str, object], list[float]] = {}
+    closes: dict[tuple[str, object], list[float]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _REQUIRED_BY_PHASE:
+            problems.append(f"event {i}: unknown or missing ph {phase!r}")
+            continue
+        if "pid" not in event:
+            problems.append(f"event {i}: missing pid")
+        for key in _REQUIRED_BY_PHASE[phase]:
+            if key not in event:
+                problems.append(f"event {i} (ph={phase}): missing {key}")
+        if phase == "M":
+            if event.get("name") == "thread_name":
+                thread_names += 1
+            if not isinstance(event.get("args", {}).get("name"), str):
+                problems.append(f"event {i}: metadata without args.name")
+            continue
+        for key in ("ts", "dur"):
+            if key in event and not _finite_nonneg(event[key]):
+                problems.append(
+                    f"event {i} (ph={phase}): {key}={event[key]!r} is not a "
+                    "finite non-negative number"
+                )
+        if phase in ("b", "e") and "ts" in event:
+            span = (str(event.get("cat")), event.get("id"))
+            (opens if phase == "b" else closes).setdefault(span, []).append(
+                float(event["ts"])
+            )
+
+    if thread_names == 0:
+        problems.append("no thread_name metadata events (no replica tracks)")
+    for span in sorted(set(opens) | set(closes), key=repr):
+        n_open = len(opens.get(span, ()))
+        n_close = len(closes.get(span, ()))
+        if n_open != 1 or n_close != 1:
+            problems.append(
+                f"span {span!r}: {n_open} open(s), {n_close} close(s); "
+                "expected exactly one of each"
+            )
+        elif closes[span][0] < opens[span][0]:
+            problems.append(f"span {span!r}: closes before it opens")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: validate_trace.py TRACE_JSON", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    events = payload["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "b")
+    print(f"trace OK: {len(events)} events, {spans} query spans")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
