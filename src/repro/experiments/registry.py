@@ -20,6 +20,7 @@ from repro.experiments import (
     frontier_predictive,
     headline,
     load_sweep,
+    resilience_frontier,
     tab01_bandwidth,
     tab02_resources,
     tab03_buffer_config,
@@ -75,6 +76,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "batching_sweep",
             "Throughput/goodput frontier vs dispatch batch size B",
             batching_sweep,
+        ),
+        Experiment(
+            "resilience_frontier",
+            "Goodput under injected crashes: self-healing vs fault-oblivious",
+            resilience_frontier,
         ),
         Experiment("tab01", "Buffer bandwidth requirements", tab01_bandwidth),
         Experiment("tab02", "FPGA resource comparison", tab02_resources),

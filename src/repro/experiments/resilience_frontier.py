@@ -1,0 +1,356 @@
+"""Resilience frontier (extension) — goodput under injected faults.
+
+The robustness question the fault layer exists to answer: when replicas
+crash, how much of the lost goodput can a self-healing configuration buy
+back, and what does the insurance cost?  This experiment sweeps a crash
+MTBF grid and, at every crash rate, runs two configurations over the same
+workload, arrivals and fault draws:
+
+* **oblivious** — a static pool with retries disabled
+  (``max_attempts: 1``): every crash permanently shrinks the pool, every
+  lost query fails immediately.  The fault-unaware baseline.
+* **resilient** — the same pool under a reactive autoscaler whose
+  ``min_replicas`` equals the pool size (crashed replicas are replaced
+  through the provisioning lifecycle), with retries and brownout
+  degradation enabled.
+
+Both run through ``run_scenario`` from declarative specs (the same path
+as ``python -m repro serve``), sharing one latency table via the stack
+cache.  The run asserts the tentpole's acceptance property: at the most
+aggressive nonzero crash rate the resilient configuration achieves
+strictly higher goodput *and* SLO attainment than the oblivious one,
+while spending at most ``cost_bound`` times the *fault-free* pool's
+replica-seconds — the self-healing premium is bounded, not a blank
+check.  (The fault-free static pool anchors the cost comparison because
+the oblivious pool's cost shrinks as crashed replicas stop accruing —
+beating a collapsing baseline on cost would be vacuous.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.analysis.reporting import format_table
+from repro.core.policies import Policy
+from repro.serving.api import run_scenario
+from repro.serving.spec import (
+    ArrivalSpec,
+    AutoscalerSpec,
+    FaultSpec,
+    ReplicaGroupSpec,
+    RetryPolicy,
+    ScenarioSpec,
+)
+from repro.serving.stack import SushiStack, SushiStackConfig
+from repro.serving.workload import WorkloadSpec, feasible_ranges_from_table
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """One (configuration, crash rate) cell of the sweep."""
+
+    label: str
+    kind: str
+    """``oblivious`` or ``resilient``."""
+    crash_mtbf_ms: float | None
+    """Mean time between crashes per replica (None: fault-free cell)."""
+    slo_attainment: float
+    goodput_per_ms: float
+    replica_seconds: float
+    num_crashes: int
+    drop_reasons: tuple[tuple[str, int], ...]
+    """Dropped-query counts by reason, sorted by reason."""
+    mean_replicas: float
+    mean_accuracy: float
+    scale_ups: int = 0
+
+
+@dataclass(frozen=True)
+class ResilienceResult:
+    supernet_name: str
+    policy: Policy
+    num_queries: int
+    pool_size: int
+    cost_bound: float
+    points: tuple[ResiliencePoint, ...]
+
+    def point(self, label: str) -> ResiliencePoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(f"no resilience point labelled {label!r}")
+
+    def pair(self, mtbf: float | None) -> tuple[ResiliencePoint, ResiliencePoint]:
+        """The (oblivious, resilient) pair at one crash rate."""
+        tag = "none" if mtbf is None else f"{mtbf:g}"
+        return self.point(f"oblivious-{tag}"), self.point(f"resilient-{tag}")
+
+
+def _fault_spec(
+    mtbf: float | None, *, resilient: bool, seed: int
+) -> FaultSpec | None:
+    if mtbf is None:
+        return None
+    retry = (
+        RetryPolicy(max_attempts=3, backoff_base_ms=1.0, backoff_multiplier=2.0)
+        if resilient
+        else RetryPolicy(max_attempts=1)
+    )
+    return FaultSpec(
+        seed=seed,
+        crash_mtbf_ms=mtbf,
+        retry=retry,
+        brownout_threshold=0.25 if resilient else None,
+    )
+
+
+def _scenario(
+    *,
+    name: str,
+    supernet_name: str,
+    policy: Policy,
+    stack: SushiStack,
+    workload: WorkloadSpec,
+    arrivals: ArrivalSpec,
+    pool_size: int,
+    startup_delay_ms: float,
+    control_interval_ms: float,
+    faults: FaultSpec | None,
+    resilient: bool,
+    seed: int,
+) -> ScenarioSpec:
+    autoscaler = None
+    if resilient:
+        # Self-healing is the min_replicas clamp: a crash drops the active
+        # count below the floor and the controller provisions a
+        # replacement through the cold-start lifecycle.
+        autoscaler = AutoscalerSpec(
+            policy="reactive",
+            control_interval_ms=control_interval_ms,
+            min_replicas=pool_size,
+            max_replicas=pool_size + 3,
+            down_cooldown_ms=4.0 * control_interval_ms,
+            group="pool",
+        )
+    return ScenarioSpec(
+        name=name,
+        supernet_name=supernet_name,
+        policy=policy,
+        cache_update_period=stack.config.cache_update_period,
+        replica_groups=(
+            ReplicaGroupSpec(
+                count=pool_size,
+                platform=stack.config.platform,
+                candidate_set_size=stack.config.candidate_set_size,
+                seed=stack.config.seed,
+                discipline="edf",
+                startup_delay_ms=startup_delay_ms,
+                name="pool",
+            ),
+        ),
+        router="jsq",
+        admission="drop_expired",
+        workload=workload,
+        arrivals=arrivals,
+        autoscaler=autoscaler,
+        faults=faults,
+        seed=seed,
+    )
+
+
+def run(
+    supernet_name: str = "ofa_mobilenetv3",
+    *,
+    policy: Policy = Policy.STRICT_LATENCY,
+    num_queries: int = 400,
+    pool_size: int = 3,
+    crash_mtbfs: tuple[float, ...] = (1500.0, 400.0),
+    cost_bound: float = 1.5,
+    seed: int = 0,
+    stack: SushiStack | None = None,
+) -> ResilienceResult:
+    """Sweep crash rates, oblivious vs self-healing, over one trace.
+
+    ``crash_mtbfs`` is ordered mild to aggressive; a fault-free cell
+    (``None``) is always prepended so the frontier anchors at the no-fault
+    goodput.  The acceptance assertion runs at the last (most aggressive)
+    MTBF: resilient strictly beats oblivious on goodput and attainment
+    while spending at most ``cost_bound`` times the fault-free static
+    pool's replica-seconds.
+    """
+    if stack is None:
+        stack = SushiStack(
+            SushiStackConfig(
+                supernet_name=supernet_name, policy=policy, seed=seed
+            )
+        )
+    else:
+        supernet_name = stack.supernet.name
+        policy = stack.config.policy
+    stack_cache = {stack.config: stack}
+    unit_ms = float(stack.table.latencies_ms.min())
+    acc_range, lat_range = feasible_ranges_from_table(stack.table)
+    workload = WorkloadSpec(
+        num_queries=num_queries,
+        accuracy_range=acc_range,
+        latency_range_ms=lat_range,
+    )
+    arrivals = ArrivalSpec(kind="poisson", rate_per_ms=0.6 / unit_ms, seed=seed)
+    common = dict(
+        supernet_name=supernet_name,
+        policy=policy,
+        stack=stack,
+        workload=workload,
+        arrivals=arrivals,
+        pool_size=pool_size,
+        startup_delay_ms=10.0 * unit_ms,
+        control_interval_ms=5.0 * unit_ms,
+        seed=seed,
+    )
+
+    points: list[ResiliencePoint] = []
+    grid: tuple[float | None, ...] = (None, *crash_mtbfs)
+    for mtbf in grid:
+        for resilient in (False, True):
+            kind = "resilient" if resilient else "oblivious"
+            tag = "none" if mtbf is None else f"{mtbf:g}"
+            label = f"{kind}-{tag}"
+            spec = _scenario(
+                name=label,
+                faults=_fault_spec(mtbf, resilient=resilient, seed=seed),
+                resilient=resilient,
+                **common,
+            )
+            result = run_scenario(spec, stack_cache=stack_cache)
+            report_ = result.autoscale
+            points.append(
+                ResiliencePoint(
+                    label=label,
+                    kind=kind,
+                    crash_mtbf_ms=mtbf,
+                    slo_attainment=result.slo_attainment,
+                    goodput_per_ms=result.goodput_per_ms,
+                    replica_seconds=result.replica_seconds,
+                    num_crashes=result.num_crashes,
+                    drop_reasons=tuple(sorted(result.drop_reasons.items())),
+                    mean_replicas=result.mean_active_replicas,
+                    mean_accuracy=result.mean_accuracy,
+                    scale_ups=0 if report_ is None else report_.num_scale_ups,
+                )
+            )
+
+    out = ResilienceResult(
+        supernet_name=supernet_name,
+        policy=policy,
+        num_queries=num_queries,
+        pool_size=pool_size,
+        cost_bound=cost_bound,
+        points=tuple(points),
+    )
+    # The tentpole's acceptance property, checked at the most aggressive
+    # crash rate of the sweep.
+    oblivious, resilient_p = out.pair(crash_mtbfs[-1])
+    fault_free, _ = out.pair(None)
+    assert resilient_p.goodput_per_ms > oblivious.goodput_per_ms, (
+        f"self-healing did not improve goodput: "
+        f"{resilient_p.goodput_per_ms:.4f} <= {oblivious.goodput_per_ms:.4f}"
+    )
+    assert resilient_p.slo_attainment > oblivious.slo_attainment, (
+        f"self-healing did not improve SLO attainment: "
+        f"{resilient_p.slo_attainment:.4f} <= {oblivious.slo_attainment:.4f}"
+    )
+    assert (
+        resilient_p.replica_seconds <= cost_bound * fault_free.replica_seconds
+    ), (
+        f"self-healing premium unbounded: {resilient_p.replica_seconds:.3f} > "
+        f"{cost_bound} x {fault_free.replica_seconds:.3f} replica-seconds "
+        "(fault-free pool cost)"
+    )
+    return out
+
+
+def trace_scenario(
+    supernet_name: str = "ofa_mobilenetv3",
+    *,
+    policy: Policy = Policy.STRICT_LATENCY,
+    num_queries: int = 400,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The cell ``repro run resilience_frontier --trace`` flight-records.
+
+    The resilient configuration at the sweep's most aggressive crash rate
+    — the run whose crash instants, replacement provisioning segments and
+    fault-driven drops the recorder's fault track makes visible.
+    """
+    stack = SushiStack(
+        SushiStackConfig(supernet_name=supernet_name, policy=policy, seed=seed)
+    )
+    unit_ms = float(stack.table.latencies_ms.min())
+    acc_range, lat_range = feasible_ranges_from_table(stack.table)
+    return _scenario(
+        name="resilient-400",
+        supernet_name=supernet_name,
+        policy=policy,
+        stack=stack,
+        workload=WorkloadSpec(
+            num_queries=num_queries,
+            accuracy_range=acc_range,
+            latency_range_ms=lat_range,
+        ),
+        arrivals=ArrivalSpec(kind="poisson", rate_per_ms=0.6 / unit_ms, seed=seed),
+        pool_size=3,
+        startup_delay_ms=10.0 * unit_ms,
+        control_interval_ms=5.0 * unit_ms,
+        faults=_fault_spec(400.0, resilient=True, seed=seed),
+        resilient=True,
+        seed=seed,
+    )
+
+
+def report(result: ResilienceResult) -> str:
+    rows = {}
+    for p in result.points:
+        reasons = ", ".join(f"{k}={v}" for k, v in p.drop_reasons) or "-"
+        rows[p.label] = {
+            "kind": p.kind,
+            "crash MTBF (ms)": (
+                "-" if p.crash_mtbf_ms is None else p.crash_mtbf_ms
+            ),
+            "crashes": p.num_crashes,
+            "scale-ups": p.scale_ups,
+            "SLO attainment": p.slo_attainment,
+            "goodput (/ms)": p.goodput_per_ms,
+            "replica-seconds": p.replica_seconds,
+            "mean replicas": p.mean_replicas,
+            "drops": reasons,
+        }
+    return format_table(
+        rows,
+        title=(
+            f"Resilience frontier — {result.supernet_name} "
+            f"({result.policy.value}), {result.num_queries} queries, "
+            f"pool of {result.pool_size}; self-healing premium bounded at "
+            f"{result.cost_bound:g}x the fault-free pool's replica-seconds"
+        ),
+        precision=3,
+    )
+
+
+def to_jsonable(result: ResilienceResult) -> dict:
+    """A JSON-safe dump of the sweep (CI uploads this as an artifact)."""
+    return {
+        "supernet_name": result.supernet_name,
+        "policy": result.policy.value,
+        "num_queries": result.num_queries,
+        "pool_size": result.pool_size,
+        "cost_bound": result.cost_bound,
+        "points": [asdict(p) for p in result.points],
+    }
+
+
+def main() -> None:  # pragma: no cover
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -6,7 +6,10 @@ time comes from the event loop, randomness from seeded
 ``numpy.random.Generator`` instances, and iteration order from
 insertion-ordered structures.  Inside ``serving/engine/``,
 ``serving/autoscale/`` and ``serving/obs/`` (the flight recorder sits on
-the hot path and its exports must be byte-stable) this checker flags:
+the hot path and its exports must be byte-stable; the fault-injection
+layer ``serving/engine/faults.py`` samples crash/straggle/dispatch-failure
+processes and must draw them from its decorrelated seeded RNG stream)
+this checker flags:
 
 * calls into the *global* ``random`` module (``random.random()``,
   ``from random import shuffle`` + ``shuffle(...)``) — use a seeded

@@ -2,9 +2,10 @@
 
 The engine's determinism rests on one documented tie-break: events are
 heap-ordered by ``(time, kind, insertion seq)``, with the kind priority
-COMPLETION < ARRIVAL < PROVISIONING < CONTROL (completions free capacity
-before the arrival at the same instant sees the queue; see
-``docs/invariants.md``).  Two drift paths can silently break it:
+COMPLETION < ARRIVAL < FAULT < RECOVERY < PROVISIONING < CONTROL
+(completions free capacity before the arrival at the same instant sees the
+queue; faults land after the data plane but before the control plane's
+view; see ``docs/invariants.md``).  Two drift paths can silently break it:
 
 * a **new EventKind member** whose priority nobody decided — flagged
   until :data:`EVENT_ORDER` here *and* ``docs/invariants.md`` are
@@ -36,7 +37,14 @@ from repro.lint.base import (
 #: The documented tie-break priority, lowest value wins.  Extending
 #: EventKind requires extending this tuple (and docs/invariants.md) in
 #: the same change — that is the point.
-EVENT_ORDER: tuple[str, ...] = ("COMPLETION", "ARRIVAL", "PROVISIONING", "CONTROL")
+EVENT_ORDER: tuple[str, ...] = (
+    "COMPLETION",
+    "ARRIVAL",
+    "FAULT",
+    "RECOVERY",
+    "PROVISIONING",
+    "CONTROL",
+)
 
 
 def _heappush_names(module: ModuleSource) -> tuple[set[str], set[str]]:

@@ -42,8 +42,10 @@ from repro.serving.spec import (
     ArrivalSpec,
     AutoscalerSpec,
     BatchingSpec,
+    FaultSpec,
     ObservabilitySpec,
     ReplicaGroupSpec,
+    RetryPolicy,
     ScenarioSpec,
     scenario_schema,
 )
@@ -78,9 +80,11 @@ __all__ = [
     "AutoscaleReport",
     "AutoscalerSpec",
     "BatchingSpec",
+    "FaultSpec",
     "ObservabilitySpec",
     "RecordedTrace",
     "ReplicaGroupSpec",
+    "RetryPolicy",
     "ScaledGroup",
     "ScalingEvent",
     "ScenarioSpec",

@@ -45,6 +45,7 @@ from repro.serving.baselines import (
 )
 from repro.serving.engine import (
     AcceleratorReplica,
+    FaultInjector,
     PrecomputedServer,
     QueryServer,
     ServingEngine,
@@ -337,6 +338,33 @@ def build_engine(
             engine.recorder = TraceRecorder()
         if autoscaler is not None:
             autoscaler.keep_metrics = spec.observability.keep_metrics
+    if spec.faults is not None:
+        f = spec.faults
+        engine.faults = FaultInjector(
+            seed=f.seed,
+            crash_mtbf_ms=f.crash_mtbf_ms,
+            straggler_mtbf_ms=f.straggler_mtbf_ms,
+            straggler_duration_ms=f.straggler_duration_ms,
+            straggler_factor=f.straggler_factor,
+            dispatch_failure_prob=f.dispatch_failure_prob,
+            max_attempts=f.retry.max_attempts,
+            backoff_base_ms=f.retry.backoff_base_ms,
+            backoff_multiplier=f.retry.backoff_multiplier,
+            brownout_threshold=f.brownout_threshold,
+            brownout_accuracy_step=f.brownout_accuracy_step,
+            brownout_max_steps=f.brownout_max_steps,
+            groups=f.groups or None,
+        )
+        # Initial replica index -> group name, so the injector can match
+        # its ``groups`` coverage against the build-time pool (scale-up
+        # replicas report their group at creation instead).
+        engine.fault_groups = {
+            index: group.name
+            for index, group in zip(
+                range(len(replicas)),
+                (g for g in spec.replica_groups for _ in range(g.count)),
+            )
+        }
     return engine
 
 
@@ -403,6 +431,11 @@ def format_result_summary(spec: ScenarioSpec, result: SimulationResult) -> str:
         }
         if result.autoscale.cost_budget is not None:
             rows["autoscaler"]["cost budget"] = result.autoscale.cost_budget
+    if spec.faults is not None:
+        fault_row: dict[str, object] = {"crashes": result.num_crashes}
+        for reason, count in sorted(result.drop_reasons.items()):
+            fault_row[f"dropped ({reason})"] = count
+        rows["faults"] = fault_row
     makespan = max((o.completion_ms for o in result.outcomes), default=0.0)
     for stats in result.replica_stats:
         # Utilization over the replica's own provisioned time, not the

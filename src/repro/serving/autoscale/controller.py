@@ -79,6 +79,10 @@ class GroupLoad:
     num_provisioning: int = 0
     num_draining: int = 0
     queue_depth: int = 0
+    num_failed: int = 0
+    """Replicas of the group that have crashed (cumulative; crashed
+    replicas already left ``num_active``, so self-healing falls out of the
+    ``min_replicas`` clamp without any policy change)."""
 
     @property
     def num_incoming(self) -> int:
@@ -311,6 +315,7 @@ class AutoscaleController:
                 num_provisioning=by_name[g.name].num_provisioning,
                 num_draining=by_name[g.name].num_draining,
                 queue_depth=by_name[g.name].queue_depth,
+                num_failed=by_name[g.name].num_failed,
             )
             for g in self.groups
         )

@@ -75,6 +75,10 @@ class GroupStatus:
     num_provisioning: int
     num_draining: int
     queue_depth: int
+    num_failed: int = 0
+    """Replicas of the group that have crashed (cumulative; already out of
+    ``num_active`` — the ``min_replicas`` clamp provisions replacements, so
+    policies need not act on this, but failure-aware ones may)."""
 
     @property
     def num_incoming(self) -> int:

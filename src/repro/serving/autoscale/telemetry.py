@@ -1,7 +1,8 @@
 """Telemetry bus: the control plane's window into the data plane.
 
 The serving engine feeds the bus one call per event — arrivals, dispatches,
-completions and drops — and the bus maintains *sliding-window* views of them
+completions, drops and replica failures — and the bus maintains
+*sliding-window* views of them
 (a deque per signal, pruned lazily).  At every control tick the autoscale
 controller asks for a :class:`MetricsSnapshot`: queue depth, windowed arrival
 rate, drop rate, utilization and the p95 dispatch wait — the observable
@@ -96,6 +97,13 @@ class MetricsSnapshot:
     mean_batch_occupancy: float = 0.0
     num_provisioning: int = 0
     arrival_rate_slope_per_ms2: float = 0.0
+    num_failed_replicas: int = 0
+    """Replicas of the scalable pool that have crashed so far (cumulative;
+    0 without fault injection).  Crashed replicas left the routable pool,
+    so they are *not* part of ``num_active``."""
+    failure_rate_per_ms: float = 0.0
+    """Replica crashes in the window divided by the window (the failure
+    detector's windowed signal; 0 without fault injection)."""
 
     @property
     def num_incoming(self) -> int:
@@ -130,6 +138,7 @@ class TelemetryBus:
         self.window_ms = float(window_ms)
         self._arrivals: deque[float] = deque()
         self._drops: deque[float] = deque()
+        self._failures: deque[float] = deque()
         self._waits: deque[tuple[float, float]] = deque()  # (time, wait_ms)
         self._services: deque[tuple[float, float]] = deque()  # (start, end)
         self._batches: deque[tuple[float, int]] = deque()  # (time, batch size)
@@ -147,6 +156,7 @@ class TelemetryBus:
         self.total_completions = 0
         self.total_drops = 0
         self.total_batches = 0
+        self.total_failures = 0
 
     # ------------------------------------------------------------ event feed
     def on_arrival(self, now_ms: float) -> None:
@@ -169,6 +179,11 @@ class TelemetryBus:
         self._drop_append(now_ms)
         self.total_drops += 1
 
+    def on_failure(self, now_ms: float) -> None:
+        """One replica crash (the fault layer's failure-detector feed)."""
+        self._failures.append(now_ms)
+        self.total_failures += 1
+
     def on_batch(self, now_ms: float, *, batch_size: int) -> None:
         """One dispatch pickup of ``batch_size`` queries (1 without batching)."""
         self._batch_append((now_ms, batch_size))
@@ -176,7 +191,7 @@ class TelemetryBus:
 
     # ------------------------------------------------------------- snapshot
     def _prune(self, horizon_ms: float) -> None:
-        for q in (self._arrivals, self._drops):
+        for q in (self._arrivals, self._drops, self._failures):
             while q and q[0] < horizon_ms:
                 q.popleft()
         while self._waits and self._waits[0][0] < horizon_ms:
@@ -195,16 +210,18 @@ class TelemetryBus:
         queue_depth: int = 0,
         capacity_replicas: int | None = None,
         num_provisioning: int = 0,
+        num_failed_replicas: int = 0,
     ) -> MetricsSnapshot:
         """The windowed metrics as of ``now_ms``.
 
         ``num_active`` / ``num_draining`` / ``num_provisioning`` /
-        ``queue_depth`` are instantaneous pool facts only the engine knows;
-        everything else comes from the event feed.  ``capacity_replicas`` is
-        the utilization denominator — the replicas whose busy time can
-        appear in the feed (the engine passes active *plus draining*, since
-        draining replicas still serve their queues; provisioning replicas
-        cannot serve and are excluded); it defaults to ``num_active``.
+        ``num_failed_replicas`` / ``queue_depth`` are instantaneous pool
+        facts only the engine knows; everything else comes from the event
+        feed.  ``capacity_replicas`` is the utilization denominator — the
+        replicas whose busy time can appear in the feed (the engine passes
+        active *plus draining*, since draining replicas still serve their
+        queues; provisioning replicas cannot serve and are excluded); it
+        defaults to ``num_active``.
         """
         window = min(self.window_ms, now_ms) if now_ms > 0 else self.window_ms
         horizon = now_ms - window
@@ -259,6 +276,10 @@ class TelemetryBus:
             mean_batch_occupancy=mean_occupancy,
             num_provisioning=num_provisioning,
             arrival_rate_slope_per_ms2=slope,
+            num_failed_replicas=num_failed_replicas,
+            failure_rate_per_ms=(
+                len(self._failures) / window if window > 0 else 0.0
+            ),
         )
 
     # ------------------------------------------------------------ lifecycle
@@ -266,6 +287,7 @@ class TelemetryBus:
         """Forget all telemetry (a new simulation run starts)."""
         self._arrivals.clear()
         self._drops.clear()
+        self._failures.clear()
         self._waits.clear()
         self._services.clear()
         self._batches.clear()
@@ -275,3 +297,4 @@ class TelemetryBus:
         self.total_completions = 0
         self.total_drops = 0
         self.total_batches = 0
+        self.total_failures = 0

@@ -40,6 +40,7 @@ from repro.serving.engine.disciplines import (
     make_discipline,
 )
 from repro.serving.engine.events import ArrayEventQueue, Event, EventHeap, EventKind
+from repro.serving.engine.faults import FaultInjector
 from repro.serving.engine.replica import (
     AcceleratorReplica,
     PrecomputedServer,
@@ -73,6 +74,7 @@ __all__ = [
     "EventKind",
     "FIFOQueue",
     "FastestExpectedRouter",
+    "FaultInjector",
     "JoinShortestQueueRouter",
     "LeastLoadedRouter",
     "PrecomputedServer",

@@ -17,19 +17,26 @@ Invariants the rest of the system builds on:
 
 * **Determinism** — the run is a pure function of (replicas, trace,
   arrival timestamps): the event heap breaks timestamp ties by kind
-  (completions → arrivals → provisioning hand-overs → control ticks) and
-  then insertion order, every routing/discipline/policy decision is
-  deterministic, and repeated runs (after ``reset()``) produce identical
-  records, drops, scaling events and cost accounting.
+  (completions → arrivals → faults → recoveries → provisioning hand-overs
+  → control ticks) and then insertion order, every
+  routing/discipline/policy decision is deterministic, fault sampling
+  draws from its own seeded generator, and repeated runs (after
+  ``reset()``) produce identical records, drops, scaling events and cost
+  accounting.
 * **Record identity across feature gates** — each optional layer is
   bit-exact inert at its neutral setting: ``autoscaler=None`` matches the
   pre-autoscaling event path, ``max_batch=1`` matches the pre-batching
   dispatch, ``startup_delay_ms=0`` matches the instant-scale-up control
-  plane (no PROVISIONING events are ever scheduled), and a single scaled
-  group with ``cost_weight=1.0`` matches the pre-tier controller.
+  plane (no PROVISIONING events are ever scheduled), a single scaled
+  group with ``cost_weight=1.0`` matches the pre-tier controller, and
+  ``faults=None`` keeps every fault hook a dead check (no FAULT/RECOVERY
+  event is ever scheduled) so the fault-free paths are untouched.
 * **Conservation** — every offered query is exactly once served or
   dropped; draining replicas finish their queues before retiring; retired
-  replicas hold no work.
+  replicas hold no work.  Fault injection preserves this: a crashed
+  replica's lost queries re-enter routing through the retry policy or
+  drop with the ``failed`` reason, and arrivals with no routable replica
+  left drop with the ``shed`` reason.
 * **Cost accounting** — a replica accrues ``active_ms`` from creation
   (scale-up request, *including* its cold-start window) to retirement or
   the run's last data-plane event; control ticks and provisioning
@@ -49,6 +56,7 @@ from repro.serving.autoscale.controller import AutoscaleController, GroupLoad
 from repro.serving.engine.admission import AdmissionPolicy, make_admission
 from repro.serving.engine.disciplines import QueueDiscipline, QueuedQuery
 from repro.serving.engine.events import ArrayEventQueue, Event, EventHeap, EventKind
+from repro.serving.engine.faults import FAILED, SHED
 from repro.serving.engine.replica import AcceleratorReplica, _InService
 from repro.serving.engine.results import (
     DroppedQuery,
@@ -152,6 +160,8 @@ def _serve_pickup(
     dts: bool,
     bus,
     recorder=None,
+    faults=None,
+    fault_sink: list[QueuedQuery] | None = None,
 ) -> float | None:
     """Pull the replica's next admissible batch and start serving it.
 
@@ -171,6 +181,18 @@ def _serve_pickup(
 
     Records are stamped with the replica index *here*, at dispatch, so
     completion is allocation-free.
+
+    With ``faults`` set (a :class:`~repro.serving.engine.faults.FaultInjector`)
+    the pickup additionally runs the dispatch-time fault behaviours: one
+    Bernoulli transient-failure draw per pickup (on failure the whole batch
+    moves to ``fault_sink`` for the caller's retry policy and the replica
+    stays idle), straggle scaling of the batch's service time by the
+    replica's current ``straggle_factor`` (records keep their nominal
+    ``served_latency_ms``; outcomes and busy accounting carry the scaled
+    time), and brownout degradation — the injector's current
+    ``accuracy_relax`` is subtracted from every member's accuracy floor
+    before the backend sees it, steering dispatch toward smaller SubNets
+    while capacity is lost.  ``faults=None`` is a dead check.
     """
     batch, shed = replica.pop_batch(replica.max_batch, now_ms=now, admission=admission)
     for item in shed:
@@ -181,6 +203,16 @@ def _serve_pickup(
             recorder.on_dropped(dropped[-1])
     if not batch:
         return None
+    straggle = 1.0
+    relax = 0.0
+    if faults is not None:
+        if faults.dispatch_fails():
+            # Transient dispatch failure: the whole pickup errors before
+            # any work starts; the caller retries (or fails) each member.
+            fault_sink.extend(batch)
+            return None
+        straggle = replica.straggle_factor
+        relax = faults.accuracy_relax
 
     ridx = replica.index
     size = len(batch)
@@ -219,10 +251,25 @@ def _serve_pickup(
                     if remaining > _MIN_EFFECTIVE_LATENCY_MS
                     else _MIN_EFFECTIVE_LATENCY_MS
                 )
-            record = serve(item.query, effective_latency_constraint_ms=effective)
+            query = item.query
+            if relax > 0.0:
+                # Brownout: relax the accuracy floor the backend schedules
+                # against (the outcome keeps the query's nominal
+                # constraints, so attainment metrics see the degradation).
+                floor = query.accuracy_constraint - relax
+                query = replace(
+                    query,
+                    accuracy_constraint=floor if floor > 1e-9 else 1e-9,
+                )
+            record = serve(query, effective_latency_constraint_ms=effective)
             if record.replica_index != ridx:
                 record = replace(record, replica_index=ridx)
             service = float(record.served_latency_ms)
+            if straggle != 1.0:
+                # A straggling replica runs the whole pickup slower; the
+                # record keeps the backend's nominal latency, the simulated
+                # clock (and busy accounting) carries the scaled time.
+                service *= straggle
             records.append(record)
             started.append(item)
             starts.append(t)
@@ -249,14 +296,29 @@ def _serve_pickup(
                 )
                 for item in batch
             ]
+        queries = [item.query for item in batch]
+        if relax > 0.0:
+            queries = [
+                replace(
+                    q,
+                    accuracy_constraint=(
+                        q.accuracy_constraint - relax
+                        if q.accuracy_constraint - relax > 1e-9
+                        else 1e-9
+                    ),
+                )
+                for q in queries
+            ]
         records = [
             r if r.replica_index == ridx else replace(r, replica_index=ridx)
             for r in batch_serve(
-                [item.query for item in batch],
+                queries,
                 effective_latency_constraints_ms=effective_batch,
             )
         ]
         total = max(float(r.served_latency_ms) for r in records)
+        if straggle != 1.0:
+            total *= straggle
         starts = [now] * size
         services = [total] * size
         completion_ms = now + total
@@ -646,6 +708,22 @@ class ServingEngine:
         :class:`~repro.serving.obs.TraceRecorder`).  ``None`` — the default
         — keeps every hot loop's hook a dead ``is not None`` check, so an
         unobserved run is bit-identical to a build without observability."""
+        self.faults = None
+        """Optional fault injector (a
+        :class:`~repro.serving.engine.faults.FaultInjector`).  ``None`` —
+        the default — schedules no FAULT/RECOVERY event and keeps every
+        fault hook a dead check, so a fault-free run is bit-identical to a
+        build without fault injection (the same ladder rung contract as
+        :attr:`recorder`)."""
+        self.fault_groups: dict[int, str | None] = {}
+        """Initial replica index -> spec group name, for ``FaultSpec``
+        group scoping (populated by ``api.build_engine``; irrelevant when
+        the injector covers all groups).  Scale-up replicas are scoped by
+        their scaled group's name directly."""
+        self._failed_pressure = 0
+        """Crashed replicas not yet replaced — the brownout pressure
+        numerator.  Incremented per crash, decremented when a scale-up
+        replica joins routing."""
 
     def _normalize_membership(
         self,
@@ -706,7 +784,7 @@ class ServingEngine:
 
     def _routable(self) -> list[AcceleratorReplica]:
         """Replicas the router may choose from (everything, if static)."""
-        if self.autoscaler is None:
+        if self.autoscaler is None and self.faults is None:
             return self.replicas
         return [r for r in self.replicas if r.is_routable]
 
@@ -741,6 +819,9 @@ class ServingEngine:
         self.router.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
+        if self.faults is not None:
+            self.faults.reset()
+        self._failed_pressure = 0
         self._group_indices = {
             name: list(indices) for name, indices in self._initial_membership.items()
         }
@@ -764,10 +845,11 @@ class ServingEngine:
         """Simulate ``trace`` with explicit per-query arrival times.
 
         ``fast_path`` swaps the Event/EventHeap loop for the cursor-based
-        fast loop (:func:`_fast_drain`; with an autoscaler, the
-        :class:`ArrayEventQueue` mirror :meth:`_drain_array`).  ``shard``
-        simulates each replica independently — requires round-robin routing
-        and no autoscaler, see :meth:`_run_sharded` — optionally across
+        fast loop (:func:`_fast_drain`; with an autoscaler or fault
+        injection, the :class:`ArrayEventQueue` mirror
+        :meth:`_drain_array`).  ``shard`` simulates each replica
+        independently — requires round-robin routing, no autoscaler and no
+        fault injection, see :meth:`_run_sharded` — optionally across
         ``shard_workers`` processes.  All three are pure execution
         strategies: results and per-replica stats are bit-identical to the
         reference loop (``shard`` implies the fast loop per shard).
@@ -787,7 +869,7 @@ class ServingEngine:
             self.autoscaler.recorder = recorder
         if shard:
             outcomes, dropped = self._run_sharded(trace, arrivals, shard_workers)
-        elif fast_path and self.autoscaler is None:
+        elif fast_path and self.autoscaler is None and self.faults is None:
             outcomes, dropped, run_end = _fast_drain(
                 self.replicas,
                 self.router.select,
@@ -811,6 +893,8 @@ class ServingEngine:
                 heap.push(
                     Event(self.autoscaler.control_interval_ms, EventKind.CONTROL, None)
                 )
+            if self.faults is not None:
+                self._arm_faults(arrivals, heap.push)
             outcomes, dropped = self._drain(heap)
         return self._build_result(
             outcomes, dropped, arrival_rate_per_ms=arrival_rate_per_ms
@@ -904,9 +988,12 @@ class ServingEngine:
         needs_estimates = self._needs_estimates
         scalable = self._scalable_set
         heap_pop = heap.pop
-        ARRIVAL, COMPLETION, PROVISIONING, CONTROL = (
+        fi = self.faults
+        ARRIVAL, COMPLETION, FAULT, RECOVERY, PROVISIONING, CONTROL = (
             EventKind.ARRIVAL,
             EventKind.COMPLETION,
+            EventKind.FAULT,
+            EventKind.RECOVERY,
             EventKind.PROVISIONING,
             EventKind.CONTROL,
         )
@@ -915,17 +1002,21 @@ class ServingEngine:
             event = heap_pop()
             now = event.time_ms
             kind = event.kind
-            if kind == ARRIVAL or kind == COMPLETION:
+            if kind == ARRIVAL:
                 # Only data-plane events define the run's duration: a
                 # trailing control tick (or provisioning hand-over) after
                 # the last completion must not inflate the cost accounting
                 # relative to a static run of the same trace.
                 self._run_end_ms = now
-            if kind == ARRIVAL:
                 query = event.payload
                 item = QueuedQuery(query=query, arrival_ms=now, seq=seq)
                 seq += 1
                 candidates = self._routable()
+                if fi is not None and not candidates:
+                    # Every replica crashed (and no replacement is serving
+                    # yet): the arrival has nowhere to go and is shed.
+                    self._shed_arrival(item, now, dropped, bus)
+                    continue
                 ridx = router_select(candidates, item, now)
                 replica = candidates[ridx]
                 if bus is not None and replica.index in scalable:
@@ -948,14 +1039,26 @@ class ServingEngine:
                     self._dispatch(replica, now, heap, dropped)
             elif kind == COMPLETION:
                 replica = self.replicas[event.payload]
+                if fi is not None and replica.failed:
+                    # The crash already swept this pickup into the retry
+                    # path; its COMPLETION is stale and defines nothing
+                    # (not even the run end — the work never finished).
+                    continue
+                self._run_end_ms = now
                 self._complete(replica, outcomes, now)
                 self._dispatch(replica, now, heap, dropped)
+            elif kind == FAULT:
+                self._handle_fault(now, event.payload, heap, dropped)
+            elif kind == RECOVERY:
+                self._handle_recovery(now, event.payload, heap, dropped)
             elif kind == PROVISIONING:
                 replica = self.replicas[event.payload]
                 # A scale-down during the cold start cancelled (retired)
                 # the replica; its stale hand-over event is a no-op.
                 if not replica.is_retired and replica.provisioning:
                     replica.finish_provisioning()
+                    if fi is not None:
+                        self._on_capacity_joined()
             else:  # CONTROL
                 self._control(now, heap)
         outcomes.sort(key=_by_query_index)
@@ -965,13 +1068,13 @@ class ServingEngine:
     def _drain_array(
         self, trace, arrivals: np.ndarray
     ) -> tuple[list[SimulatedQueryOutcome], list[DroppedQuery]]:
-        """The fast path with an autoscaler: cursor arrivals, heaped dynamics.
+        """The fast path with dynamics (autoscaler and/or fault injection).
 
         Mirrors :meth:`_drain` event for event — same handlers, same
         telemetry feed, same timestamp tie-breaks (enforced by
         :class:`ArrayEventQueue`) — but arrivals never become ``Event``
         objects and queries materialize lazily, so the per-arrival constant
-        factor drops while scaling decisions stay bit-identical.
+        factor drops while scaling and fault decisions stay bit-identical.
         """
         outcomes: list[SimulatedQueryOutcome] = []
         dropped: list[DroppedQuery] = []
@@ -985,25 +1088,32 @@ class ServingEngine:
             queue.push(
                 Event(self.autoscaler.control_interval_ms, EventKind.CONTROL, None)
             )
+        fi = self.faults
+        if fi is not None:
+            self._arm_faults(arrivals, queue.push)
         queue_pop = queue.pop
-        ARRIVAL, COMPLETION, PROVISIONING = (
+        ARRIVAL, COMPLETION, FAULT, RECOVERY, PROVISIONING = (
             int(EventKind.ARRIVAL),
             int(EventKind.COMPLETION),
+            int(EventKind.FAULT),
+            int(EventKind.RECOVERY),
             int(EventKind.PROVISIONING),
         )
         while queue:
             now, kind, payload = queue_pop()
-            if kind == ARRIVAL or kind == COMPLETION:
-                # Only data-plane events define the run's duration (see
-                # _drain).
-                self._run_end_ms = now
             if kind == ARRIVAL:
-                # The payload is the arrival index, which doubles as the
-                # queue-entry sequence number: the cursor yields arrivals in
-                # buffer order, exactly the reference loop's seq counter.
+                # Only data-plane events define the run's duration (see
+                # _drain).  The payload is the arrival index, which doubles
+                # as the queue-entry sequence number: the cursor yields
+                # arrivals in buffer order, exactly the reference loop's
+                # seq counter.
+                self._run_end_ms = now
                 query = get_query(payload)
                 item = QueuedQuery(query=query, arrival_ms=now, seq=payload)
                 candidates = self._routable()
+                if fi is not None and not candidates:
+                    self._shed_arrival(item, now, dropped, bus)
+                    continue
                 ridx = router_select(candidates, item, now)
                 replica = candidates[ridx]
                 if bus is not None and replica.index in scalable:
@@ -1020,12 +1130,23 @@ class ServingEngine:
                     self._dispatch(replica, now, queue, dropped)
             elif kind == COMPLETION:
                 replica = self.replicas[payload]
+                if fi is not None and replica.failed:
+                    # Stale completion of a crashed replica's lost pickup
+                    # (see _drain).
+                    continue
+                self._run_end_ms = now
                 self._complete(replica, outcomes, now)
                 self._dispatch(replica, now, queue, dropped)
+            elif kind == FAULT:
+                self._handle_fault(now, payload, queue, dropped)
+            elif kind == RECOVERY:
+                self._handle_recovery(now, payload, queue, dropped)
             elif kind == PROVISIONING:
                 replica = self.replicas[payload]
                 if not replica.is_retired and replica.provisioning:
                     replica.finish_provisioning()
+                    if fi is not None:
+                        self._on_capacity_joined()
             else:  # CONTROL
                 self._control(now, queue)
         outcomes.sort(key=_by_query_index)
@@ -1056,6 +1177,12 @@ class ServingEngine:
         """
         if self.autoscaler is not None:
             raise ValueError("sharded simulation is incompatible with an autoscaler")
+        if self.faults is not None:
+            raise ValueError(
+                "sharded simulation is incompatible with fault injection: "
+                "retries re-route lost queries across replicas, which "
+                "couples the shards"
+            )
         if not isinstance(self.router, RoundRobinRouter):
             raise ValueError(
                 "sharded simulation needs state-independent routing "
@@ -1151,6 +1278,7 @@ class ServingEngine:
         # are excluded from the capacity denominator.
         loads: list[GroupLoad] = []
         members: dict[str | None, list[AcceleratorReplica]] = {}
+        fi = self.faults
         for group in ctl.groups:
             pool = self._group_pool(group.name)
             members[group.name] = pool
@@ -1163,6 +1291,19 @@ class ServingEngine:
                     num_provisioning=sum(1 for r in pool if r.provisioning),
                     num_draining=sum(1 for r in pool if r.draining),
                     queue_depth=sum(r.queue_length() for r in pool),
+                    # Crashed replicas left the pool (crash retires), so
+                    # num_active already excludes them: the min_replicas
+                    # clamp is what lifts `desired` back up and provisions
+                    # the replacement.  The failed count is telemetry.
+                    num_failed=(
+                        0
+                        if fi is None
+                        else sum(
+                            1
+                            for i in self._group_indices[group.name]
+                            if self.replicas[i].failed
+                        )
+                    ),
                 )
             )
         snapshot = ctl.bus.snapshot(
@@ -1174,6 +1315,7 @@ class ServingEngine:
                 load.num_active + load.num_draining for load in loads
             ),
             num_provisioning=sum(load.num_provisioning for load in loads),
+            num_failed_replicas=sum(load.num_failed for load in loads),
         )
         desired_map = ctl.decide_pool(snapshot, loads)
         for group, load in zip(ctl.groups, loads):
@@ -1212,6 +1354,7 @@ class ServingEngine:
                 needed -= 1
             ctl = self.autoscaler
             recorder = self.recorder
+            fi = self.faults
             for _ in range(needed):
                 index = len(self.replicas)
                 replica = ctl.make_replica(index, group=group.name)
@@ -1235,6 +1378,17 @@ class ServingEngine:
                 self.replicas.append(replica)
                 self._group_indices[group.name].append(index)
                 self._scalable_set.add(index)
+                if fi is not None:
+                    if fi.covers_group(group.name):
+                        # The replacement lives under the same fault
+                        # processes as the replica it replaces; its crash
+                        # clock starts at its own creation.
+                        fi.schedule_replica(index, now, heap.push)
+                    if group.startup_delay_ms <= 0:
+                        # No cold start: the replica joined routing above,
+                        # so failure pressure eases immediately (a delayed
+                        # one eases at its PROVISIONING hand-over).
+                        self._on_capacity_joined()
         elif desired < incoming:
             # Cancel provisioning replicas first (they never served — the
             # cheapest capacity to shed), newest request first; then drain
@@ -1268,6 +1422,178 @@ class ServingEngine:
             if self.recorder is not None:
                 self.recorder.on_replica_retired(replica.index, now)
 
+    # ------------------------------------------------------------ fault plane
+    def _arm_faults(self, arrivals: np.ndarray, push) -> None:
+        """Sample and schedule the fault processes for the initial pool.
+
+        Runs once per ``run()``, in replica-index order, before the first
+        event pops — the injector's draw sequence is a pure function of the
+        pool composition, so repeated runs replay the same faults.
+        """
+        fi = self.faults
+        fi.horizon_ms = float(arrivals[-1]) if len(arrivals) else 0.0
+        group_of = dict(self.fault_groups)
+        for name, indices in self._group_indices.items():
+            for i in indices:
+                group_of.setdefault(i, name)
+        for replica in self.replicas:
+            if fi.covers_group(group_of.get(replica.index)):
+                fi.schedule_replica(replica.index, 0.0, push)
+
+    def _handle_fault(
+        self,
+        now: float,
+        payload,
+        heap: EventHeap | ArrayEventQueue,
+        dropped: list[DroppedQuery],
+    ) -> None:
+        """One FAULT event: a replica crash or a straggle onset."""
+        fi = self.faults
+        tag = payload[0]
+        replica = self.replicas[payload[1]]
+        if tag == "straggle":
+            # A retired/crashed replica picks nothing up, so a stale
+            # straggle onset is inert either way; skipping it keeps the
+            # factor from leaking into a later pool state.
+            if not replica.is_retired and not replica.failed:
+                replica.straggle_factor = payload[2]
+                if self.recorder is not None:
+                    self.recorder.on_fault(
+                        now, "straggle", replica.index, detail=payload[2]
+                    )
+            return
+        # tag == "crash"
+        if replica.is_retired or replica.failed:
+            # Already drained away by a scale-down (or double event):
+            # whichever of retire and crash processed first won, the loser
+            # sees a retired replica and no-ops — deterministically.
+            return
+        lost = replica.crash(now)
+        fi.on_crash()
+        self._failed_pressure += 1
+        if self.recorder is not None:
+            self.recorder.on_fault(now, "crash", replica.index)
+            self.recorder.on_replica_retired(replica.index, now)
+        bus = None if self.autoscaler is None else self.autoscaler.bus
+        if bus is not None and replica.index in self._scalable_set:
+            bus.on_failure(now)
+        for item in lost:
+            self._retry_or_fail(item, replica, now, heap, dropped)
+        fi.update_brownout(self._failed_pressure, len(self._routable()))
+
+    def _handle_recovery(
+        self,
+        now: float,
+        payload,
+        heap: EventHeap | ArrayEventQueue,
+        dropped: list[DroppedQuery],
+    ) -> None:
+        """One RECOVERY event: a straggle interval ends, or a retry fires."""
+        if payload[0] == "straggle_end":
+            replica = self.replicas[payload[1]]
+            if not replica.is_retired and not replica.failed:
+                replica.straggle_factor = 1.0
+                if self.recorder is not None:
+                    self.recorder.on_fault(now, "straggle_end", replica.index)
+            return
+        # ("retry", item): the backed-off query re-enters routing.  Its
+        # arrival_ms (and deadline) stay original — a retry buys another
+        # attempt, not more slack — and it does not feed bus.on_arrival:
+        # demand telemetry counted it when it first arrived.
+        item = payload[1]
+        candidates = self._routable()
+        bus = None if self.autoscaler is None else self.autoscaler.bus
+        if not candidates:
+            drop = DroppedQuery(
+                query_index=item.query.index,
+                arrival_ms=item.arrival_ms,
+                dropped_at_ms=now,
+                latency_constraint_ms=item.query.latency_constraint_ms,
+                replica_index=-1,
+                reason=FAILED,
+            )
+            dropped.append(drop)
+            if bus is not None:
+                bus.on_drop(now)
+            if self.recorder is not None:
+                self.recorder.on_dropped(drop)
+            return
+        ridx = self.router.select(candidates, item, now)
+        replica = candidates[ridx]
+        if self._needs_estimates:
+            item = QueuedQuery(
+                query=item.query,
+                arrival_ms=item.arrival_ms,
+                seq=item.seq,
+                service_estimate_ms=float(replica.service_estimator(item.query)),
+            )
+        replica.enqueue(item)
+        if replica.in_service is None:
+            self._dispatch(replica, now, heap, dropped)
+
+    def _retry_or_fail(
+        self,
+        item: QueuedQuery,
+        replica: AcceleratorReplica,
+        now: float,
+        heap: EventHeap | ArrayEventQueue,
+        dropped: list[DroppedQuery],
+    ) -> None:
+        """Back off a lost query for a retry, or fail it for good."""
+        retry_ms = self.faults.next_retry_ms(item, now)
+        if retry_ms is None:
+            replica.stats.num_dropped += 1
+            drop = DroppedQuery(
+                query_index=item.query.index,
+                arrival_ms=item.arrival_ms,
+                dropped_at_ms=now,
+                latency_constraint_ms=item.query.latency_constraint_ms,
+                replica_index=replica.index,
+                reason=FAILED,
+            )
+            dropped.append(drop)
+            bus = None if self.autoscaler is None else self.autoscaler.bus
+            if bus is not None and replica.index in self._scalable_set:
+                bus.on_drop(now)
+            if self.recorder is not None:
+                self.recorder.on_dropped(drop)
+        else:
+            heap.push(Event(retry_ms, EventKind.RECOVERY, ("retry", item)))
+
+    def _shed_arrival(
+        self,
+        item: QueuedQuery,
+        now: float,
+        dropped: list[DroppedQuery],
+        bus,
+    ) -> None:
+        """Drop an arrival that found no routable replica (fault mode only).
+
+        The demand still feeds the telemetry bus — arrivals shed because
+        the whole pool crashed are exactly the signal the self-healing
+        controller must see to provision replacements.
+        """
+        drop = DroppedQuery(
+            query_index=item.query.index,
+            arrival_ms=item.arrival_ms,
+            dropped_at_ms=now,
+            latency_constraint_ms=item.query.latency_constraint_ms,
+            replica_index=-1,
+            reason=SHED,
+        )
+        dropped.append(drop)
+        if bus is not None:
+            bus.on_arrival(now)
+            bus.on_drop(now)
+        if self.recorder is not None:
+            self.recorder.on_dropped(drop)
+
+    def _on_capacity_joined(self) -> None:
+        """A scale-up replica joined routing: failure pressure eases."""
+        if self._failed_pressure > 0:
+            self._failed_pressure -= 1
+        self.faults.update_brownout(self._failed_pressure, len(self._routable()))
+
     def _dispatch(
         self,
         replica: AcceleratorReplica,
@@ -1285,15 +1611,41 @@ class ServingEngine:
         bus = None if self.autoscaler is None else self.autoscaler.bus
         if bus is not None and replica.index not in self._scalable_set:
             bus = None  # telemetry covers the scaled group only
-        completion_ms = _serve_pickup(
-            replica,
-            now,
-            dropped,
-            admission=self.admission,
-            dts=self.dispatch_time_scheduling,
-            bus=bus,
-            recorder=self.recorder,
-        )
+        fi = self.faults
+        if fi is None:
+            completion_ms = _serve_pickup(
+                replica,
+                now,
+                dropped,
+                admission=self.admission,
+                dts=self.dispatch_time_scheduling,
+                bus=bus,
+                recorder=self.recorder,
+            )
+        else:
+            sink: list[QueuedQuery] = []
+            while True:
+                completion_ms = _serve_pickup(
+                    replica,
+                    now,
+                    dropped,
+                    admission=self.admission,
+                    dts=self.dispatch_time_scheduling,
+                    bus=bus,
+                    recorder=self.recorder,
+                    faults=fi,
+                    fault_sink=sink,
+                )
+                if not sink:
+                    break
+                # The whole pickup errored transiently: its members enter
+                # the retry path and the (healthy) replica pulls the next
+                # batch, so queued work never starves behind a blip.
+                if self.recorder is not None:
+                    self.recorder.on_fault(now, "dispatch_failure", replica.index)
+                for item in sink:
+                    self._retry_or_fail(item, replica, now, heap, dropped)
+                sink.clear()
         if completion_ms is None:
             # A draining replica with nothing left to serve leaves the
             # pool here — the natural end of its drain.
@@ -1400,6 +1752,7 @@ class ServingEngine:
             autoscale=report,
             trace=trace,
             metrics=metrics,
+            num_crashes=0 if self.faults is None else self.faults.num_crashes,
         )
 
 

@@ -1,20 +1,27 @@
 """Discrete-event machinery: the event heap of the serving engine.
 
 The engine advances simulated time through a priority queue of timestamped
-events.  Four event kinds exist: a query *arrival* (it enters the system
+events.  Six event kinds exist: a query *arrival* (it enters the system
 and is routed to a replica's queue), a replica *completion* (a replica
-finishes its in-service query and pulls the next one), a replica
-*provisioning* hand-over (a cold scale-up replica finishes its
-``startup_delay_ms`` and joins routing), and an autoscaler *control* tick
-(the scaling policy observes the pool and may resize it).
+finishes its in-service query and pulls the next one), a *fault* onset
+(a sampled crash or straggle interval from the fault-injection layer hits
+a replica), a *recovery* (a straggle interval ends, or a retried query
+re-enters routing after its backoff), a replica *provisioning* hand-over
+(a cold scale-up replica finishes its ``startup_delay_ms`` and joins
+routing), and an autoscaler *control* tick (the scaling policy observes
+the pool and may resize it).
 
 Tie-breaking at equal timestamps (the engine's determinism contract):
 completions are processed before arrivals so a replica freed at time ``t``
-is visible to routing decisions made at ``t``; provisioning hand-overs run
-after the data plane but before control so a replica warm at ``t`` is
-active in the tick's snapshot at ``t``; control ticks run last so the
-policy sees every data-plane event up to and including ``t``.  Remaining
-ties resolve by insertion order, which keeps every run deterministic.
+is visible to routing decisions made at ``t``; faults and recoveries run
+after the data plane (a completion or arrival at exactly ``t`` still sees
+the pre-fault pool, so a crash never races a same-instant completion) but
+before provisioning and control, so the control plane's view at ``t`` is
+always the *post*-fault pool; provisioning hand-overs run next so a
+replica warm at ``t`` is active in the tick's snapshot at ``t``; control
+ticks run last so the policy sees every data-plane and fault event up to
+and including ``t``.  Remaining ties resolve by insertion order, which
+keeps every run deterministic.
 """
 
 from __future__ import annotations
@@ -30,8 +37,10 @@ class EventKind(enum.IntEnum):
 
     COMPLETION = 0
     ARRIVAL = 1
-    PROVISIONING = 2
-    CONTROL = 3
+    FAULT = 2
+    RECOVERY = 3
+    PROVISIONING = 4
+    CONTROL = 5
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,7 +56,9 @@ class Event:
     kind: EventKind
     payload: Any
     """ARRIVAL: the arriving :class:`Query`.  COMPLETION / PROVISIONING: the
-    replica index.  CONTROL: unused (None)."""
+    replica index.  FAULT / RECOVERY: a ``(tag, ...)`` tuple from the fault
+    layer (see :mod:`repro.serving.engine.faults`).  CONTROL: unused
+    (None)."""
 
 
 class EventHeap:
@@ -100,14 +111,16 @@ class ArrayEventQueue:
 
     The engine's arrival buffer is already time-sorted (arrival processes
     are cumulative), so the fast path keeps arrivals as a plain cursor over
-    the buffer and heaps only the *dynamic* events — COMPLETION,
-    PROVISIONING and CONTROL — of which only a handful are ever in flight.
+    the buffer and heaps only the *dynamic* events — COMPLETION, FAULT,
+    RECOVERY, PROVISIONING and CONTROL — of which only a handful are ever
+    in flight.
     This removes one ``Event`` allocation plus a heap push *and* pop per
     arrival while preserving :class:`EventHeap`'s exact ordering contract:
 
     * time first;
     * at equal timestamps, :class:`EventKind` order (completions before
-      arrivals before provisioning hand-overs before control ticks);
+      arrivals before faults/recoveries before provisioning hand-overs
+      before control ticks);
     * remaining ties by insertion order.  Dynamic events are never
       ARRIVAL-kind, so (time, kind) fully orders a dynamic event against
       the cursor, and same-kind dynamic ties fall back to this queue's own
@@ -128,7 +141,7 @@ class ArrayEventQueue:
         self._counter = 0
 
     def push(self, event: Event) -> None:
-        """Schedule a dynamic (COMPLETION/PROVISIONING/CONTROL) event."""
+        """Schedule a dynamic (non-ARRIVAL) event."""
         heapq.heappush(
             self._heap,
             (event.time_ms, int(event.kind), self._counter, event.payload),

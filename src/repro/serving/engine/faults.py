@@ -1,0 +1,261 @@
+"""Fault injection: crashes, stragglers, transient dispatch failures.
+
+The :class:`FaultInjector` is the runtime side of the declarative
+``FaultSpec`` (see :mod:`repro.serving.spec`): a seeded, per-replica fault
+process sampled into FAULT/RECOVERY events plus the retry/brownout
+bookkeeping the engine consults at dispatch time.  Like the flight
+recorder, it hangs off the engine as a nullable attribute — every hot-loop
+hook is a dead ``is None`` check when fault injection is off, so
+``faults: null`` stays bit-identical to the fault-free engine (a rung of
+the record-identity ladder).
+
+Three fault processes, all drawn from one decorrelated seeded
+``numpy.random.Generator`` (RPR001: no unseeded randomness in the fault
+layer):
+
+* **Crashes** — each covered replica dies at an exponentially sampled
+  time (``crash_mtbf_ms``).  The in-flight batch and the queued backlog
+  are lost; each lost query goes through the retry policy.  A crashed
+  replica never recovers — self-healing is the autoscaler's job
+  (replacements provision through the existing cold-start lifecycle).
+* **Stragglers** — each covered replica alternates healthy and straggle
+  intervals (onset gaps ~ Exp(``straggler_mtbf_ms``), durations ~
+  Exp(``straggler_duration_ms``)); while straggling, every batch it picks
+  up runs ``straggler_factor`` times slower.
+* **Transient dispatch failures** — each pickup errors with probability
+  ``dispatch_failure_prob``; the batch's queries go through the retry
+  policy, the replica stays healthy.
+
+Retry semantics (``max_attempts`` / ``backoff_base_ms`` /
+``backoff_multiplier``): a lost query re-enters routing after an
+exponential backoff, but only while the backoff still fits the query's
+remaining deadline slack — a retry that would land after the deadline, or
+a query out of attempts, is dropped with the ``"failed"`` reason.
+
+Brownout (``brownout_threshold`` …): when the failed fraction of the pool
+crosses the threshold, the engine relaxes every dispatched query's
+accuracy floor stepwise (``level x brownout_accuracy_step``) so smaller,
+faster SubNets absorb the lost capacity instead of deadline drops.  The
+level is recomputed whenever the pool changes (crash, replacement ready).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from numpy.random import default_rng
+
+from repro.serving.engine.disciplines import QueuedQuery
+from repro.serving.engine.events import Event, EventKind
+
+#: Drop reason for queries that exhausted their retry budget (or whose
+#: backoff no longer fits the deadline) after a crash / dispatch failure.
+FAILED = "failed"
+#: Drop reason for arrivals shed because no routable replica existed.
+SHED = "shed"
+
+
+class FaultInjector:
+    """Seeded per-replica fault processes plus retry/brownout state.
+
+    Built once per engine (by ``api.build_engine`` from a ``FaultSpec``,
+    or directly in tests), attached as ``engine.faults``.  ``reset()``
+    restores the constructor state — including the RNG — so repeated runs
+    of the same engine replay the same faults.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        crash_mtbf_ms: float | None = None,
+        straggler_mtbf_ms: float | None = None,
+        straggler_duration_ms: float = 0.0,
+        straggler_factor: float = 1.0,
+        dispatch_failure_prob: float = 0.0,
+        max_attempts: int = 3,
+        backoff_base_ms: float = 1.0,
+        backoff_multiplier: float = 2.0,
+        brownout_threshold: float | None = None,
+        brownout_accuracy_step: float = 0.01,
+        brownout_max_steps: int = 3,
+        groups: Iterable[str] | None = None,
+    ) -> None:
+        if crash_mtbf_ms is not None and crash_mtbf_ms <= 0:
+            raise ValueError("crash_mtbf_ms must be positive")
+        if straggler_mtbf_ms is not None:
+            if straggler_mtbf_ms <= 0:
+                raise ValueError("straggler_mtbf_ms must be positive")
+            if straggler_duration_ms <= 0:
+                raise ValueError(
+                    "straggler_duration_ms must be positive when stragglers "
+                    "are enabled"
+                )
+            if straggler_factor < 1.0:
+                raise ValueError("straggler_factor must be >= 1.0")
+        if not (0.0 <= dispatch_failure_prob < 1.0):
+            raise ValueError("dispatch_failure_prob must be in [0, 1)")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if backoff_base_ms <= 0:
+            raise ValueError("backoff_base_ms must be positive")
+        if backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1.0")
+        if brownout_threshold is not None:
+            if not (0.0 < brownout_threshold <= 1.0):
+                raise ValueError("brownout_threshold must be in (0, 1]")
+            if brownout_accuracy_step <= 0:
+                raise ValueError("brownout_accuracy_step must be positive")
+            if brownout_max_steps < 1:
+                raise ValueError("brownout_max_steps must be >= 1")
+        self.seed = seed
+        self.crash_mtbf_ms = crash_mtbf_ms
+        self.straggler_mtbf_ms = straggler_mtbf_ms
+        self.straggler_duration_ms = straggler_duration_ms
+        self.straggler_factor = straggler_factor
+        self.dispatch_failure_prob = dispatch_failure_prob
+        self.max_attempts = max_attempts
+        self.backoff_base_ms = backoff_base_ms
+        self.backoff_multiplier = backoff_multiplier
+        self.brownout_threshold = brownout_threshold
+        self.brownout_accuracy_step = brownout_accuracy_step
+        self.brownout_max_steps = brownout_max_steps
+        self.groups = None if groups is None else frozenset(groups)
+        self._rng = default_rng(seed)
+        self._covered: set[int] = set()
+        self._attempts: dict[int, int] = {}
+        self.brownout_level = 0
+        self.accuracy_relax = 0.0
+        self.num_crashes = 0
+        self.num_dispatch_failures = 0
+        self.num_retries = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def reset(self) -> None:
+        """Back to the constructor state: same seed, same sampled faults."""
+        self._rng = default_rng(self.seed)
+        self._covered.clear()
+        self._attempts.clear()
+        self.brownout_level = 0
+        self.accuracy_relax = 0.0
+        self.num_crashes = 0
+        self.num_dispatch_failures = 0
+        self.num_retries = 0
+
+    def covers_group(self, group: str | None) -> bool:
+        """Whether a replica group's name falls under the fault processes."""
+        if self.groups is None:
+            return True
+        return group is not None and group in self.groups
+
+    def covers(self, replica_index: int) -> bool:
+        return replica_index in self._covered
+
+    # -------------------------------------------------------------- sampling
+    def schedule_replica(
+        self, replica_index: int, now_ms: float, push: Callable[[Event], None]
+    ) -> None:
+        """Arm the fault processes for one covered replica.
+
+        Called for every initial replica at run start and for every
+        scale-up replica at creation, in replica-index order — the draw
+        order is a pure function of the event order, so runs replay
+        exactly.  The crash time is one exponential draw (a replica dies
+        at most once; its replacement gets its own draw).  Every fault is
+        sampled against ``self.horizon_ms`` (the last arrival time, set by
+        the engine before scheduling): a fault past the last arrival is
+        never scheduled.  This is what terminates the run — without the
+        horizon, a crash after the trace ends would provision a
+        replacement, whose own crash draw would provision another, forever.
+        """
+        self._covered.add(replica_index)
+        rng = self._rng
+        if self.crash_mtbf_ms is not None:
+            crash_ms = now_ms + float(rng.exponential(self.crash_mtbf_ms))
+            if crash_ms <= self.horizon_ms:
+                push(Event(crash_ms, EventKind.FAULT, ("crash", replica_index)))
+        if self.straggler_mtbf_ms is not None:
+            t = now_ms
+            horizon = self.horizon_ms
+            while True:
+                t += float(rng.exponential(self.straggler_mtbf_ms))
+                if t > horizon:
+                    break
+                duration = float(rng.exponential(self.straggler_duration_ms))
+                push(
+                    Event(
+                        t,
+                        EventKind.FAULT,
+                        ("straggle", replica_index, self.straggler_factor),
+                    )
+                )
+                push(
+                    Event(
+                        t + duration,
+                        EventKind.RECOVERY,
+                        ("straggle_end", replica_index),
+                    )
+                )
+                t += duration
+
+    horizon_ms: float = 0.0
+    """Straggle-sampling horizon (the last arrival time); the engine sets
+    it at run start, before any :meth:`schedule_replica` call."""
+
+    def dispatch_fails(self) -> bool:
+        """One per-pickup Bernoulli draw of the transient-failure process."""
+        if self.dispatch_failure_prob <= 0.0:
+            return False
+        failed = bool(self._rng.random() < self.dispatch_failure_prob)
+        if failed:
+            self.num_dispatch_failures += 1
+        return failed
+
+    # ---------------------------------------------------------------- retry
+    def next_retry_ms(self, item: QueuedQuery, now_ms: float) -> float | None:
+        """When a lost query should re-enter routing; ``None`` = give up.
+
+        Exponential backoff (``base x multiplier^attempt``) checked against
+        the query's remaining deadline slack: a retry that cannot possibly
+        complete in time is pointless, so it is refused and the query drops
+        with the ``"failed"`` reason.
+        """
+        attempt = self._attempts.get(item.query.index, 1)
+        if attempt >= self.max_attempts:
+            return None
+        retry_ms = now_ms + self.backoff_base_ms * (
+            self.backoff_multiplier ** (attempt - 1)
+        )
+        if retry_ms >= item.deadline_ms:
+            return None
+        self._attempts[item.query.index] = attempt + 1
+        self.num_retries += 1
+        return retry_ms
+
+    # -------------------------------------------------------------- brownout
+    def update_brownout(self, num_failed: int, num_routable: int) -> None:
+        """Recompute the degradation level from the pool's failure pressure.
+
+        Pressure is the failed fraction of the pool the router can see
+        (crashed and not yet replaced).  Below the threshold the ladder is
+        at level 0 (no degradation); at the threshold it steps to 1, and
+        each further threshold-multiple of pressure steps once more, up to
+        ``brownout_max_steps``.  Replacement replicas joining the pool
+        lower the pressure, stepping the ladder back down — degradation is
+        always proportional to the *current* capacity loss.
+        """
+        if self.brownout_threshold is None:
+            return
+        total = num_failed + num_routable
+        pressure = num_failed / total if total else 1.0
+        if pressure < self.brownout_threshold:
+            level = 0
+        else:
+            level = min(
+                self.brownout_max_steps, int(pressure / self.brownout_threshold)
+            )
+        self.brownout_level = level
+        self.accuracy_relax = level * self.brownout_accuracy_step
+
+    def on_crash(self) -> None:
+        self.num_crashes += 1

@@ -202,6 +202,12 @@ class AcceleratorReplica:
         self.provisioning = False
         self.provision_ready_ms: float | None = None
         self.retired_at_ms: float | None = None
+        self.failed = False
+        self.failed_at_ms: float | None = None
+        self.straggle_factor = 1.0
+        """Service-time multiplier while a straggle interval is active
+        (1.0 = healthy; set and cleared by the fault layer's FAULT/RECOVERY
+        events)."""
         self.stats = ReplicaStats(
             replica_index=-1 if index is None else index,
             name=self.name,
@@ -280,7 +286,12 @@ class AcceleratorReplica:
     @property
     def is_routable(self) -> bool:
         """Whether the router may send new arrivals here."""
-        return not self.draining and not self.is_retired and not self.provisioning
+        return (
+            not self.draining
+            and not self.is_retired
+            and not self.provisioning
+            and not self.failed
+        )
 
     def start_provisioning(self, now_ms: float, ready_ms: float) -> None:
         """Begin the cold start: cost accrues now, routing waits for ready.
@@ -323,6 +334,37 @@ class AcceleratorReplica:
         self.retired_at_ms = now_ms
         self.stats.active_ms = now_ms - self.activated_ms
 
+    def crash(self, now_ms: float) -> list[QueuedQuery]:
+        """The replica dies: every query it held is lost to the caller.
+
+        Returns the lost queries — the in-flight batch first (its pending
+        COMPLETION event will find the replica failed and be ignored), then
+        the queued backlog in discipline order — for the engine to retry or
+        drop.  A crashed replica retires immediately (downtime starts now;
+        a draining or provisioning replica that crashes is simply dead, so
+        the drain/warm-up is abandoned), which keeps retire-vs-crash races
+        deterministic: whichever event processes first wins, the other sees
+        a retired replica and stands down.
+        """
+        lost: list[QueuedQuery] = []
+        current = self.in_service
+        if current is not None:
+            lost.extend(current.items)
+            self.in_service = None
+        while True:
+            item = self.pop_next()
+            if item is None:
+                break
+            lost.append(item)
+        self.busy_until_ms = now_ms
+        self.failed = True
+        self.failed_at_ms = now_ms
+        self.straggle_factor = 1.0
+        self.draining = False
+        if not self.is_retired:
+            self.retire(now_ms)
+        return lost
+
     # ------------------------------------------------------------ lifecycle
     def reset(self) -> None:
         """Fresh state for a new run (also resets the wrapped server)."""
@@ -335,6 +377,9 @@ class AcceleratorReplica:
         self.provisioning = False
         self.provision_ready_ms = None
         self.retired_at_ms = None
+        self.failed = False
+        self.failed_at_ms = None
+        self.straggle_factor = 1.0
         self.stats = ReplicaStats(
             replica_index=-1 if self.index is None else self.index,
             name=self.name,

@@ -57,7 +57,15 @@ class SimulatedQueryOutcome:  # repro-lint: disable=RPR002 -- _fast_drain stamps
 
 @dataclass(frozen=True, slots=True)
 class DroppedQuery:
-    """A query shed by admission control (never served)."""
+    """A query dropped instead of served.
+
+    ``reason`` says why: ``deadline_expired`` (admission control shed it at
+    dispatch), ``failed`` (the fault layer gave up after a crash or
+    transient dispatch failure), or ``shed`` (no routable replica existed
+    when it arrived).  ``replica_index`` is the replica the drop is charged
+    to, or ``-1`` when no replica was involved (a pool-wide shed, or a
+    retry that found the pool empty).
+    """
 
     query_index: int
     arrival_ms: float
@@ -103,6 +111,8 @@ class SimulationResult:
     metrics: tuple[MetricsSnapshot, ...] = ()
     """Per-control-tick telemetry snapshots when ``ObservabilitySpec``
     asked to keep them (empty otherwise)."""
+    num_crashes: int = 0
+    """Replica crashes injected during the run (0 without fault injection)."""
 
     @property
     def num_served(self) -> int:
@@ -111,6 +121,19 @@ class SimulationResult:
     @property
     def num_dropped(self) -> int:
         return len(self.dropped)
+
+    @property
+    def drop_reasons(self) -> dict[str, int]:
+        """Dropped-query counts keyed by drop reason.
+
+        ``deadline_expired`` is admission shedding; ``failed`` is the fault
+        layer giving up on a query (retry budget or deadline slack
+        exhausted); ``shed`` is an arrival that found no routable replica.
+        """
+        counts: dict[str, int] = {}
+        for d in self.dropped:
+            counts[d.reason] = counts.get(d.reason, 0) + 1
+        return counts
 
     @property
     def num_offered(self) -> int:

@@ -18,6 +18,7 @@ from repro.serving.obs.exporters import (
 )
 from repro.serving.obs.recorder import (
     DecisionRecord,
+    FaultEvent,
     ProvisioningSegment,
     QuerySpan,
     RecordedTrace,
@@ -27,6 +28,7 @@ from repro.serving.obs.recorder import (
 
 __all__ = [
     "DecisionRecord",
+    "FaultEvent",
     "ProvisioningSegment",
     "QuerySpan",
     "RecordedTrace",

@@ -5,8 +5,10 @@ Three formats:
 * :func:`chrome_trace` — Chrome trace-event JSON (the ``traceEvents``
   array format) loadable in Perfetto / ``chrome://tracing``: one track
   (thread) per replica carrying service and PROVISIONING intervals, one
-  async span per query, and one instant event per scaling action with
-  its control-tick decision explanation attached as args.
+  async span per query, one instant event per scaling action with its
+  control-tick decision explanation attached as args, and (for
+  fault-injected runs) a ``faults`` track of crash / straggle /
+  dispatch-failure instants.
 * :func:`metrics_rows` / :func:`snapshot_rows` — a metrics timeseries
   (queue depth, utilization, drop rate, batch occupancy) as rows of
   plain dicts, written as CSV or JSON by :func:`write_metrics`.
@@ -65,6 +67,14 @@ def chrome_trace(trace: RecordedTrace) -> dict[str, Any]:
             "name": "thread_name", "args": {"name": "autoscaler"},
         }
     )
+    fault_tid = control_tid + 1
+    if trace.faults:
+        meta.append(
+            {
+                "ph": "M", "pid": _PID, "tid": fault_tid,
+                "name": "thread_name", "args": {"name": "faults"},
+            }
+        )
     for span in trace.spans:
         args = {
             "status": span.status,
@@ -130,6 +140,19 @@ def chrome_trace(trace: RecordedTrace) -> dict[str, Any]:
                 "pid": _PID, "tid": control_tid,
                 "ts": event.time_ms * _US_PER_MS,
                 "args": args,
+            }
+        )
+    for fault in trace.faults:
+        fault_args: dict[str, Any] = {"replica_index": fault.replica_index}
+        if fault.detail is not None:
+            fault_args["detail"] = fault.detail
+        events.append(
+            {
+                "ph": "i", "s": "g", "cat": "fault",
+                "name": f"{fault.kind} replica {fault.replica_index}",
+                "pid": _PID, "tid": fault_tid,
+                "ts": fault.time_ms * _US_PER_MS,
+                "args": fault_args,
             }
         )
     events.sort(key=lambda e: (e["ts"], e["tid"]))
@@ -262,6 +285,14 @@ def summarize_trace(trace: RecordedTrace) -> str:
             f"provisioning segments: {len(trace.provisioning)} "
             f"({cancelled} cancelled)"
         )
+    by_reason: dict[str, int] = {}
+    for span in trace.spans:
+        if span.status == "dropped":
+            reason = span.drop_reason or "deadline_expired"
+            by_reason[reason] = by_reason.get(reason, 0) + 1
+    if by_reason:
+        reasons = ", ".join(f"{k}={v}" for k, v in sorted(by_reason.items()))
+        lines.append(f"drops by reason: {reasons}")
     if trace.scaling_events:
         by_action: dict[str, int] = {}
         for event in trace.scaling_events:
@@ -270,6 +301,21 @@ def summarize_trace(trace: RecordedTrace) -> str:
         lines.append(f"scaling events: {len(trace.scaling_events)} ({actions})")
     if trace.decisions:
         lines.append(f"control decisions: {len(trace.decisions)}")
+    if trace.faults:
+        by_kind: dict[str, int] = {}
+        for fault in trace.faults:
+            by_kind[fault.kind] = by_kind.get(fault.kind, 0) + 1
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+        lines.append(f"faults: {len(trace.faults)} ({kinds})")
+        # Crashed replicas never recover, so downtime runs to the end of
+        # the trace (replacements are new replicas, not the crashed one).
+        for fault in trace.faults:
+            if fault.kind == "crash":
+                down = max(0.0, trace.duration_ms - fault.time_ms)
+                lines.append(
+                    f"  replica {fault.replica_index}: crashed at "
+                    f"{fault.time_ms:.1f} ms ({down:.1f} ms down)"
+                )
     return "\n".join(lines)
 
 
@@ -285,16 +331,39 @@ def summarize_chrome_trace(payload: Mapping[str, Any]) -> str:
     drops = sum(
         1 for e in opens if e.get("args", {}).get("status") == "dropped"
     )
-    instants = [e for e in events if e.get("ph") == "i"]
+    instants = [
+        e for e in events if e.get("ph") == "i" and e.get("cat") != "fault"
+    ]
+    faults = [
+        e for e in events if e.get("ph") == "i" and e.get("cat") == "fault"
+    ]
     timestamps = [e["ts"] for e in events if "ts" in e and e.get("ph") != "M"]
     span_ms = (max(timestamps) - min(timestamps)) / _US_PER_MS if timestamps else 0.0
+    end_ms = max(timestamps) / _US_PER_MS if timestamps else 0.0
     lines = [
         f"events: {len(events)} over {span_ms:.1f} ms",
         f"tracks: {len(tracks)}",
         *(f"  - {name}" for name in tracks),
         f"query spans: {len(opens)} ({drops} dropped)",
-        f"scaling instants: {len(instants)}",
     ]
+    by_reason: dict[str, int] = {}
+    for e in opens:
+        args = e.get("args", {})
+        if args.get("status") == "dropped":
+            reason = args.get("drop_reason", "deadline_expired")
+            by_reason[reason] = by_reason.get(reason, 0) + 1
+    if by_reason:
+        reasons = ", ".join(f"{k}={v}" for k, v in sorted(by_reason.items()))
+        lines.append(f"drops by reason: {reasons}")
+    lines.append(f"scaling instants: {len(instants)}")
     for e in instants:
         lines.append(f"  - {e['ts'] / _US_PER_MS:.1f} ms: {e['name']}")
+    if faults:
+        lines.append(f"fault instants: {len(faults)}")
+        for e in faults:
+            t_ms = e["ts"] / _US_PER_MS
+            line = f"  - {t_ms:.1f} ms: {e['name']}"
+            if str(e.get("name", "")).startswith("crash "):
+                line += f" ({max(0.0, end_ms - t_ms):.1f} ms down)"
+            lines.append(line)
     return "\n".join(lines)

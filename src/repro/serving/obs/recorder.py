@@ -111,6 +111,22 @@ class DecisionRecord:
 
 
 @dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One injected fault (or recovery) the fault layer reported.
+
+    ``kind`` is ``crash`` (replica died; it never serves again),
+    ``straggle`` / ``straggle_end`` (a slow interval opened / closed;
+    ``detail`` carries the service-time multiplier on ``straggle``), or
+    ``dispatch_failure`` (one pickup errored transiently).
+    """
+
+    time_ms: float
+    kind: str
+    replica_index: int
+    detail: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
 class RecordedTrace:
     """Everything the flight recorder saw during one run, frozen."""
 
@@ -122,6 +138,8 @@ class RecordedTrace:
     scaling_events: tuple[Any, ...]
     """The controller's :class:`ScalingEvent` log (duck-typed)."""
     duration_ms: float
+    faults: tuple[FaultEvent, ...] = ()
+    """Injected faults in event order (empty without fault injection)."""
 
     @property
     def num_served(self) -> int:
@@ -138,6 +156,7 @@ class TraceRecorder:
     Hook methods are grouped by caller:
 
     * engine data plane: :meth:`on_served`, :meth:`on_dropped`
+    * engine fault plane: :meth:`on_fault`
     * engine control plane: :meth:`on_replica_created`,
       :meth:`on_provisioning`, :meth:`on_provisioning_cancelled`,
       :meth:`on_replica_retired`
@@ -153,6 +172,7 @@ class TraceRecorder:
         self._replicas: dict[int, dict[str, Any]] = {}
         self._provisioning: list[dict[str, Any]] = []
         self._decisions: list[DecisionRecord] = []
+        self._faults: list[FaultEvent] = []
 
     # ------------------------------------------------------------- lifecycle
     def reset(self) -> None:
@@ -161,6 +181,7 @@ class TraceRecorder:
         self._replicas.clear()
         self._provisioning.clear()
         self._decisions.clear()
+        self._faults.clear()
 
     def begin_run(self, replicas: Iterable[tuple[int, str]]) -> None:
         """Start recording a run whose initial pool is ``(index, name)``s."""
@@ -178,6 +199,17 @@ class TraceRecorder:
     def on_dropped(self, drop: Any) -> None:
         """Record a shed query (a ``DroppedQuery``)."""
         self._dropped.append(drop)
+
+    # ------------------------------------------------------------ fault plane
+    def on_fault(
+        self,
+        time_ms: float,
+        kind: str,
+        replica_index: int,
+        detail: float | None = None,
+    ) -> None:
+        """Record one injected fault / recovery (the fault layer's feed)."""
+        self._faults.append(FaultEvent(time_ms, kind, replica_index, detail))
 
     # --------------------------------------------------------- control plane
     def on_replica_created(self, index: int, name: str, now_ms: float) -> None:
@@ -280,4 +312,5 @@ class TraceRecorder:
             decisions=tuple(self._decisions),
             scaling_events=tuple(scaling_events),
             duration_ms=float(duration_ms),
+            faults=tuple(self._faults),
         )

@@ -29,7 +29,8 @@ Contracts every consumer relies on:
   values that leave earlier behavior bit-identical: ``autoscaler: null``
   matches the fixed-pool engine path, ``batching.max_batch = 1`` the
   pre-batching dispatch, ``startup_delay_ms = 0`` the instant-scale-up
-  control plane, ``cost_weight = 1.0`` unweighted cost accounting.  A PR 3
+  control plane, ``cost_weight = 1.0`` unweighted cost accounting,
+  ``faults: null`` the fault-free engine.  A PR 3
   era JSON file (without the newer keys) parses to the same spec as one
   spelling the defaults out.
 
@@ -63,8 +64,10 @@ __all__ = [
     "ArrivalSpec",
     "AutoscalerSpec",
     "BatchingSpec",
+    "FaultSpec",
     "ObservabilitySpec",
     "ReplicaGroupSpec",
+    "RetryPolicy",
     "ScenarioSpec",
     "scenario_schema",
 ]
@@ -721,6 +724,183 @@ class ObservabilitySpec:
         return cls(**dict(data))
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the fault layer retries queries lost to crashes and failures.
+
+    A lost query re-enters routing after an exponential backoff
+    (``backoff_base_ms x backoff_multiplier^(attempt - 1)``), but only
+    while the backoff still fits inside the query's deadline slack and the
+    attempt budget — otherwise it drops with the ``"failed"`` reason.
+    ``max_attempts: 1`` disables retries entirely (every lost query fails
+    immediately), the fault-oblivious baseline configuration.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 1.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.max_attempts >= 1,
+            f"max_attempts must be >= 1, got {self.max_attempts}",
+        )
+        _require(
+            self.backoff_base_ms > 0,
+            f"backoff_base_ms must be positive, got {self.backoff_base_ms}",
+        )
+        _require(
+            self.backoff_multiplier >= 1.0,
+            f"backoff_multiplier must be >= 1.0, got {self.backoff_multiplier}",
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base_ms": self.backoff_base_ms,
+            "backoff_multiplier": self.backoff_multiplier,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault injection (see :mod:`repro.serving.engine.faults`).
+
+    Absent (``faults: null``), the engine attaches no fault injector and
+    the run is bit-identical to the fault-free engine — the
+    record-identity ladder's fault rung.  When set, seeded fault processes
+    run against the replica pool:
+
+    Attributes
+    ----------
+    seed:
+        Seed of the fault processes (independent of the scenario seed —
+        the same workload can be replayed under different fault draws).
+    crash_mtbf_ms:
+        Mean time between crashes per covered replica (exponential).  A
+        crashed replica loses its in-flight batch and queued backlog
+        (lost queries go through the retry policy) and never recovers;
+        replacements provision through the autoscaler, if any.  ``null``
+        disables crashes.
+    straggler_mtbf_ms, straggler_duration_ms, straggler_factor:
+        Straggle intervals per covered replica: onset gaps ~
+        Exp(``straggler_mtbf_ms``), durations ~
+        Exp(``straggler_duration_ms``); while straggling, every batch the
+        replica picks up runs ``straggler_factor`` times slower.
+        ``straggler_mtbf_ms: null`` disables stragglers.
+    dispatch_failure_prob:
+        Probability each dispatch pickup errors transiently (the batch
+        goes through the retry policy; the replica stays healthy).
+    retry:
+        The :class:`RetryPolicy` lost queries go through.
+    brownout_threshold:
+        Failed fraction of the pool at which brownout degradation starts
+        relaxing dispatched queries' accuracy floors (``null`` disables
+        brownout).  Each further threshold-multiple of pressure steps the
+        ladder once more, up to ``brownout_max_steps`` steps of
+        ``brownout_accuracy_step`` relaxation each; replacement capacity
+        joining the pool steps the ladder back down.
+    brownout_accuracy_step, brownout_max_steps:
+        The brownout ladder's per-step accuracy relaxation and cap.
+    groups:
+        Replica group names the fault processes cover (empty: every
+        group).  Every name must match a replica group.
+    """
+
+    seed: int = 0
+    crash_mtbf_ms: float | None = None
+    straggler_mtbf_ms: float | None = None
+    straggler_duration_ms: float = 0.0
+    straggler_factor: float = 1.0
+    dispatch_failure_prob: float = 0.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    brownout_threshold: float | None = None
+    brownout_accuracy_step: float = 0.01
+    brownout_max_steps: int = 3
+    groups: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.retry is None:
+            # ``"retry": null`` in JSON means "default retries", mirroring
+            # the nullable batching field.
+            object.__setattr__(self, "retry", RetryPolicy())
+        elif isinstance(self.retry, Mapping):
+            object.__setattr__(self, "retry", RetryPolicy.from_dict(self.retry))
+        object.__setattr__(self, "groups", tuple(self.groups))
+        if self.crash_mtbf_ms is not None:
+            _require(
+                self.crash_mtbf_ms > 0,
+                f"crash_mtbf_ms must be positive, got {self.crash_mtbf_ms}",
+            )
+        if self.straggler_mtbf_ms is not None:
+            _require(
+                self.straggler_mtbf_ms > 0,
+                f"straggler_mtbf_ms must be positive, got {self.straggler_mtbf_ms}",
+            )
+            _require(
+                self.straggler_duration_ms > 0,
+                "straggler_duration_ms must be positive when stragglers are "
+                f"enabled, got {self.straggler_duration_ms}",
+            )
+            _require(
+                self.straggler_factor >= 1.0,
+                f"straggler_factor must be >= 1.0, got {self.straggler_factor}",
+            )
+        _require(
+            0.0 <= self.dispatch_failure_prob < 1.0,
+            f"dispatch_failure_prob must be in [0, 1), "
+            f"got {self.dispatch_failure_prob}",
+        )
+        if self.brownout_threshold is not None:
+            _require(
+                0.0 < self.brownout_threshold <= 1.0,
+                f"brownout_threshold must be in (0, 1], "
+                f"got {self.brownout_threshold}",
+            )
+            _require(
+                self.brownout_accuracy_step > 0,
+                "brownout_accuracy_step must be positive, "
+                f"got {self.brownout_accuracy_step}",
+            )
+            _require(
+                self.brownout_max_steps >= 1,
+                f"brownout_max_steps must be >= 1, got {self.brownout_max_steps}",
+            )
+        _require(
+            len(set(self.groups)) == len(self.groups),
+            f"fault groups must be unique, got {self.groups}",
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "crash_mtbf_ms": self.crash_mtbf_ms,
+            "straggler_mtbf_ms": self.straggler_mtbf_ms,
+            "straggler_duration_ms": self.straggler_duration_ms,
+            "straggler_factor": self.straggler_factor,
+            "dispatch_failure_prob": self.dispatch_failure_prob,
+            "retry": self.retry.to_dict(),
+            "brownout_threshold": self.brownout_threshold,
+            "brownout_accuracy_step": self.brownout_accuracy_step,
+            "brownout_max_steps": self.brownout_max_steps,
+            "groups": list(self.groups),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        payload: dict[str, Any] = dict(data)
+        if payload.get("retry") is not None:
+            payload["retry"] = RetryPolicy.from_dict(payload["retry"])
+        else:
+            payload.pop("retry", None)
+        payload["groups"] = tuple(payload.get("groups", ()))
+        return cls(**payload)
+
+
 def _workload_to_json(spec: WorkloadSpec) -> dict[str, Any]:
     out: dict[str, Any] = {}
     for f in fields(spec):
@@ -800,6 +980,14 @@ class ScenarioSpec:
         (and optionally ``.metrics``) carry the recorded run.  Recorded
         sharded runs execute their shards sequentially (still
         bit-identical) so span order stays deterministic.
+    faults:
+        Optional :class:`FaultSpec`.  ``None`` (the default) attaches no
+        fault injector and the run is bit-identical to the fault-free
+        engine; when set, seeded crash / straggler / dispatch-failure
+        processes run against the pool, lost queries go through the retry
+        policy, and (optionally) brownout degradation relaxes accuracy
+        floors under capacity loss.  Incompatible with ``shard``: retries
+        re-route lost queries across replicas, which couples the shards.
     """
 
     name: str = "scenario"
@@ -821,6 +1009,7 @@ class ScenarioSpec:
     shard: bool = False
     shard_workers: int | None = None
     observability: ObservabilitySpec | None = None
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.policy, str):
@@ -849,6 +1038,20 @@ class ScenarioSpec:
                     f"autoscaler.groups entry {name!r} names no replica "
                     f"group (groups: {names})",
                 )
+        if self.faults is not None:
+            names = [g.name for g in self.replica_groups]
+            for name in self.faults.groups:
+                _require(
+                    name in names,
+                    f"faults.groups entry {name!r} names no replica "
+                    f"group (groups: {names})",
+                )
+            _require(
+                not self.shard,
+                "shard is incompatible with fault injection: retries "
+                "re-route lost queries across replicas, which couples "
+                "the shards",
+            )
         if self.shard:
             _require(
                 self.router == "round_robin",
@@ -944,6 +1147,7 @@ class ScenarioSpec:
             "observability": (
                 None if self.observability is None else self.observability.to_dict()
             ),
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
     @classmethod
@@ -965,6 +1169,8 @@ class ScenarioSpec:
             payload["observability"] = ObservabilitySpec.from_dict(
                 payload["observability"]
             )
+        if payload.get("faults") is not None:
+            payload["faults"] = FaultSpec.from_dict(payload["faults"])
         return cls(**payload)
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -1019,6 +1225,8 @@ def scenario_schema() -> dict[str, Any]:
             "arrivals": ArrivalSpec(kind="poisson", rate_per_ms=0.1).to_dict(),
             "autoscaler": AutoscalerSpec().to_dict(),
             "observability": ObservabilitySpec().to_dict(),
+            "faults": FaultSpec().to_dict(),
+            "retry": RetryPolicy().to_dict(),
         },
         "enums": {
             "policy": [p.value for p in Policy],

@@ -26,11 +26,12 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_twenty_experiments_registered(self):
-        assert len(EXPERIMENTS) == 20
+    def test_all_twenty_one_experiments_registered(self):
+        assert len(EXPERIMENTS) == 21
         assert "frontier_autoscale" in EXPERIMENTS
         assert "frontier_predictive" in EXPERIMENTS
         assert "batching_sweep" in EXPERIMENTS
+        assert "resilience_frontier" in EXPERIMENTS
 
     def test_get_experiment(self):
         assert get_experiment("fig10").experiment_id == "fig10"

@@ -10,6 +10,8 @@ import enum
 class EventKind(enum.IntEnum):
     COMPLETION = 0
     ARRIVAL = 1
-    PROVISIONING = 2
-    CONTROL = 3
-    PREEMPTION = 4  # expect: RPR005
+    FAULT = 2
+    RECOVERY = 3
+    PROVISIONING = 4
+    CONTROL = 5
+    PREEMPTION = 6  # expect: RPR005

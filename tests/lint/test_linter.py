@@ -189,7 +189,7 @@ class TestRegistry:
             for member in sorted(EventKind, key=lambda m: m.value)
         )
         assert members == EVENT_ORDER
-        assert [EventKind[name].value for name in EVENT_ORDER] == [0, 1, 2, 3]
+        assert [EventKind[name].value for name in EVENT_ORDER] == [0, 1, 2, 3, 4, 5]
 
 
 class TestSourceTree:

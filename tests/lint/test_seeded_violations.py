@@ -99,7 +99,7 @@ def test_rpr004_field_dropped_from_to_dict(tmp_path: Path) -> None:
 
 def test_rpr005_new_eventkind_member(tmp_path: Path) -> None:
     def mutate(source: str) -> str:
-        return source.replace("CONTROL = 3", "CONTROL = 3\n    PREEMPTION = 4", 1)
+        return source.replace("CONTROL = 5", "CONTROL = 5\n    PREEMPTION = 6", 1)
 
     root = copy_engine(tmp_path, {"events.py": mutate})
     assert "RPR005" in lint_codes(root)

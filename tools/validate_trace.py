@@ -14,6 +14,12 @@ recorder emits; see ``docs/observability.md``):
 5. Async spans balance: every ``(cat, id)`` opens with ``b`` exactly
    once, closes with ``e`` exactly once, and ends no earlier than it
    starts.
+6. Fault instants (``cat: fault``, emitted by fault-injected runs) are
+   coherent: each carries a non-negative integer ``args.replica_index``
+   and a known kind (``crash`` / ``straggle`` / ``straggle_end`` /
+   ``dispatch_failure``), a replica crashes at most once and reports no
+   fault events after its crash, and every ``straggle_end`` closes an
+   open straggle interval.
 
 Usage::
 
@@ -55,6 +61,9 @@ def validate_trace(payload: object) -> list[str]:
     thread_names = 0
     opens: dict[tuple[str, object], list[float]] = {}
     closes: dict[tuple[str, object], list[float]] = {}
+    faults: list[tuple[int, dict]] = []
+    crashed: set[int] = set()
+    straggling: set[int] = set()
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             problems.append(f"event {i}: not an object")
@@ -85,6 +94,36 @@ def validate_trace(payload: object) -> list[str]:
             (opens if phase == "b" else closes).setdefault(span, []).append(
                 float(event["ts"])
             )
+        if phase == "i" and event.get("cat") == "fault":
+            faults.append((i, event))
+
+    for i, event in faults:
+        replica = event.get("args", {}).get("replica_index")
+        if not isinstance(replica, int) or isinstance(replica, bool) or replica < 0:
+            problems.append(
+                f"event {i}: fault instant without a non-negative integer "
+                f"args.replica_index (got {replica!r})"
+            )
+            continue
+        kind = str(event.get("name", "")).split(" ")[0]
+        if kind not in ("crash", "straggle", "straggle_end", "dispatch_failure"):
+            problems.append(f"event {i}: unknown fault kind {kind!r}")
+            continue
+        if replica in crashed:
+            problems.append(
+                f"event {i}: fault {kind!r} on replica {replica} after its crash"
+            )
+        if kind == "crash":
+            crashed.add(replica)
+        elif kind == "straggle":
+            straggling.add(replica)
+        elif kind == "straggle_end":
+            if replica not in straggling:
+                problems.append(
+                    f"event {i}: straggle_end on replica {replica} without an "
+                    "open straggle interval"
+                )
+            straggling.discard(replica)
 
     if thread_names == 0:
         problems.append("no thread_name metadata events (no replica tracks)")
@@ -118,7 +157,13 @@ def main(argv: list[str]) -> int:
         return 1
     events = payload["traceEvents"]
     spans = sum(1 for e in events if e.get("ph") == "b")
-    print(f"trace OK: {len(events)} events, {spans} query spans")
+    faults = sum(
+        1 for e in events if e.get("ph") == "i" and e.get("cat") == "fault"
+    )
+    print(
+        f"trace OK: {len(events)} events, {spans} query spans, "
+        f"{faults} fault instants"
+    )
     return 0
 
 
