@@ -26,7 +26,14 @@ dataclasses (:func:`repro.serving.spec.scenario_schema`), so it can never
 drift from the code; the prose companion is ``docs/scenario-schema.md``.
 ``lint`` runs the AST-based invariant linter (codes RPR001–RPR005; see
 ``docs/invariants.md``) over ``src/`` by default and exits nonzero on any
-violation — CI runs it in the ``static-analysis`` job.
+violation — CI runs it in the ``static-analysis`` job.  ``sweep`` expands a
+declarative grid spec (base scenario × override axes; see
+:mod:`repro.sweep`) and runs every cell — ``--workers N`` fans cells out
+over forked processes — merging the results into JSON/CSV artifacts that
+are byte-identical regardless of the worker count.  ``trace fit`` estimates
+a piecewise-Poisson + burst model from a recorded request log
+(CSV/JSONL; see :mod:`repro.serving.trace_io`) and emits a shareable
+synthetic ``ArrivalSpec`` recipe.
 
 Observability (see ``docs/observability.md``): ``serve --trace FILE``
 attaches the flight recorder and writes a Chrome trace-event JSON
@@ -244,6 +251,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepSpec, format_sweep_summary, run_sweep
+
+    try:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            spec = SweepSpec.from_dict(json.load(fh))
+        if args.override:
+            # Overrides tweak the *base* scenario; every grid cell starts
+            # from the tweaked base.
+            spec = SweepSpec(
+                base=spec.base.override_many(args.override),
+                axes=spec.axes,
+                name=spec.name,
+            )
+    except (OSError, IndexError, KeyError, TypeError, ValueError) as exc:
+        print(f"invalid sweep spec: {exc}", file=sys.stderr)
+        return 2
+    result = run_sweep(spec, workers=args.workers)
+    print(format_sweep_summary(result))
+    try:
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(result.to_json() + "\n")
+            print(f"wrote {args.json}")
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8", newline="") as fh:
+                fh.write(result.to_csv())
+            print(f"wrote {args.csv}")
+    except OSError as exc:
+        print(f"cannot write sweep artifact: {exc}", file=sys.stderr)
+        return 2
+    # Failed cells are reported per cell above; the exit code makes them
+    # visible to CI without hiding the healthy cells' results.
+    return 1 if result.num_failed else 0
+
+
+def _cmd_trace_fit(args: argparse.Namespace) -> int:
+    from repro.serving.trace_io import fit_piecewise_poisson, load_trace_log
+
+    try:
+        log = load_trace_log(args.log, limit=args.limit)
+        fit = fit_piecewise_poisson(
+            log.timestamps_ms, max_segments=args.max_segments
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot fit {args.log}: {exc}", file=sys.stderr)
+        return 2
+    spec = fit.arrival_spec(seed=args.seed)
+    print(f"fitted {fit.num_events} arrivals over {fit.span_ms:.3f} ms:")
+    print(f"  nominal rate    {fit.nominal_rate_per_ms:.6f} /ms")
+    print(f"  interarrival CV {fit.cv_interarrival:.3f} (1.0 = Poisson)")
+    print(f"  peak/mean rate  {fit.peak_to_mean:.3f}")
+    print(f"  burst windows   {fit.num_burst_windows}")
+    print(f"  segments        {len(fit.segments)}")
+    recipe = {"arrivals": spec.to_dict(), "fit": fit.to_dict()}
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(recipe, fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}")
+    else:
+        print(json.dumps(recipe, indent=2))
+    return 0
+
+
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     from repro.serving.obs import summarize_chrome_trace
 
@@ -361,8 +437,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_args(serve_p)
     serve_p.set_defaults(func=_cmd_serve)
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help=(
+            "expand a declarative grid (base scenario x override axes), "
+            "run every cell, and merge the results into one artifact"
+        ),
+    )
+    sweep_p.add_argument(
+        "--spec", required=True, help="path to a SweepSpec JSON file"
+    )
+    sweep_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes to fan grid cells out over (default 1: "
+            "sequential; the merged artifact is byte-identical either way)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the merged sweep result as JSON to FILE",
+    )
+    sweep_p.add_argument(
+        "--csv",
+        metavar="FILE",
+        help="write the merged sweep result as CSV to FILE",
+    )
+    sweep_p.add_argument(
+        "--override",
+        action="append",
+        type=_parse_override,
+        metavar="KEY.PATH=VALUE",
+        help=(
+            "override one field of the base scenario before the grid "
+            "expands (repeatable; same dotted paths as serve --override)"
+        ),
+    )
+    sweep_p.set_defaults(func=_cmd_sweep)
+
     trace_p = sub.add_parser(
-        "trace", help="inspect exported Chrome trace JSON files"
+        "trace",
+        help=(
+            "inspect exported Chrome trace JSON files and fit synthetic "
+            "arrival recipes from request logs"
+        ),
     )
     trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
     summarize_p = trace_sub.add_parser(
@@ -372,6 +494,46 @@ def build_parser() -> argparse.ArgumentParser:
         "file", help="Chrome trace-event JSON written by --trace"
     )
     summarize_p.set_defaults(func=_cmd_trace_summarize)
+    fit_p = trace_sub.add_parser(
+        "fit",
+        help=(
+            "estimate piecewise-Poisson + burst parameters from a request "
+            "log and emit a shareable synthetic ArrivalSpec recipe"
+        ),
+    )
+    fit_p.add_argument(
+        "log", help="request log to fit (.csv or .jsonl; see docs)"
+    )
+    fit_p.add_argument(
+        "--max-segments",
+        type=int,
+        default=8,
+        metavar="N",
+        help="segment budget of the piecewise fit (default 8)",
+    )
+    fit_p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fit only the first N arrivals of the log",
+    )
+    fit_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed to stamp into the emitted ArrivalSpec recipe",
+    )
+    fit_p.add_argument(
+        "--out",
+        metavar="FILE",
+        help=(
+            "write the recipe JSON ({arrivals, fit}) to FILE instead of "
+            "stdout"
+        ),
+    )
+    fit_p.set_defaults(func=_cmd_trace_fit)
 
     schema_p = sub.add_parser(
         "schema",

@@ -38,6 +38,12 @@ from repro.serving.autoscale import (
     TelemetryBus,
 )
 from repro.serving.obs import RecordedTrace, TraceRecorder
+from repro.serving.trace_io import (
+    TraceFit,
+    TraceLog,
+    fit_piecewise_poisson,
+    load_trace_log,
+)
 from repro.serving.spec import (
     ArrivalSpec,
     AutoscalerSpec,
@@ -89,10 +95,14 @@ __all__ = [
     "ScalingEvent",
     "ScenarioSpec",
     "TelemetryBus",
+    "TraceFit",
+    "TraceLog",
     "TraceRecorder",
     "build_engine",
     "build_trace",
+    "fit_piecewise_poisson",
     "format_result_summary",
+    "load_trace_log",
     "run_scenario",
     "scenario_schema",
 ]

@@ -153,6 +153,12 @@ def build_trace(
     trace: the same vectorized constraint draws, kept in numpy buffers with
     ``Query`` objects materialized lazily at dispatch.  The two forms are
     bit-identical query for query.
+
+    Trace-replay scenarios (``arrivals.kind == "trace"`` with a ``path``)
+    may carry per-request constraint columns: a ``slo_ms`` column replaces
+    the drawn latency constraints, an ``accuracy_floor`` column the drawn
+    accuracy constraints, so query ``i`` serves exactly what request ``i``
+    of the log demanded (see :mod:`repro.serving.trace_io`).
     """
     if stack_cache is None:
         stack_cache = {}
@@ -166,10 +172,23 @@ def build_trace(
             accuracy_range=workload.accuracy_range or acc_range,
             latency_range_ms=workload.latency_range_ms or lat_range,
         )
+    accuracy_override = latency_override = None
+    log = spec.arrivals.trace_log()
+    if log is not None:
+        accuracy_override = log.accuracy_floor
+        latency_override = log.slo_ms
     generator = WorkloadGenerator(workload, seed=spec.seed)
     if spec.fast_path or spec.shard:
-        return generator.generate_array_trace(name=spec.name)
-    return generator.generate(name=spec.name)
+        return generator.generate_array_trace(
+            name=spec.name,
+            accuracy_override=accuracy_override,
+            latency_override=latency_override,
+        )
+    return generator.generate(
+        name=spec.name,
+        accuracy_override=accuracy_override,
+        latency_override=latency_override,
+    )
 
 
 def _server_builder(

@@ -9,8 +9,10 @@ is captured in frozen, JSON-serializable dataclasses:
   scenario may mix several groups, giving heterogeneous replica pools
   (e.g. two large-PB plus two small-PB replicas).
 * :class:`ArrivalSpec` — the arrival process: ``poisson``, ``deterministic``
-  (evenly spaced) or ``time_varying`` (piecewise-constant-rate Poisson for
-  diurnal / flash-crowd traces).
+  (evenly spaced), ``time_varying`` (piecewise-constant-rate Poisson for
+  diurnal / flash-crowd traces) or ``trace`` (replay of a recorded request
+  log, from a CSV/JSONL file or inline timestamps; see
+  :mod:`repro.serving.trace_io`).
 * :class:`ScenarioSpec` — the whole experiment: replica groups, router,
   admission policy, workload (query constraints) and arrival process.
 
@@ -43,10 +45,14 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, Sequence, TYPE_CHECKING
 
 import numpy as np
 import numpy.typing as npt
+
+if TYPE_CHECKING:  # pragma: no cover - trace_io imports nothing from us,
+    # but the lazy runtime imports below keep module loading cycle-free.
+    from repro.serving.trace_io import TraceLog
 
 from repro.accelerator.platforms import PlatformConfig, platform_by_name
 from repro.core.policies import Policy
@@ -85,7 +91,12 @@ BACKEND_KINDS: tuple[str, ...] = (
 )
 
 #: Supported arrival processes.
-ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "deterministic", "time_varying")
+ARRIVAL_KINDS: tuple[str, ...] = (
+    "poisson",
+    "deterministic",
+    "time_varying",
+    "trace",
+)
 
 #: Batched-dispatch policies a replica group can run under.
 BATCHING_POLICIES: tuple[str, ...] = (
@@ -137,8 +148,11 @@ class ArrivalSpec:
     ----------
     kind:
         ``poisson`` (memoryless arrivals at ``rate_per_ms``),
-        ``deterministic`` (evenly spaced at ``rate_per_ms``), or
-        ``time_varying`` (piecewise-constant-rate Poisson over ``segments``).
+        ``deterministic`` (evenly spaced at ``rate_per_ms``),
+        ``time_varying`` (piecewise-constant-rate Poisson over
+        ``segments``), or ``trace`` (replay of a recorded request log —
+        exact timestamps from a CSV/JSONL file at ``path`` or the inline
+        ``events`` tuple; see :mod:`repro.serving.trace_io`).
     rate_per_ms:
         Mean arrival rate in queries/ms (``poisson`` / ``deterministic``).
     segments:
@@ -147,19 +161,61 @@ class ArrivalSpec:
         day or a flash-crowd spike repeats naturally over long traces.
     seed:
         Seed of the arrival process (independent of the workload seed).
+        ``trace`` replays are deterministic; the seed is inert for them.
+    path:
+        ``trace`` only: request-log file to replay (``.csv`` / ``.jsonl``;
+        relative paths resolve against the working directory).  The file
+        is read when arrivals are generated, not at spec validation, so
+        scenario files parse anywhere.  Mutually exclusive with ``events``.
+    events:
+        ``trace`` only: inline arrival timestamps in ms (non-negative,
+        non-decreasing).  The self-contained replay form — a scenario
+        JSON carrying its own tiny log.  Mutually exclusive with ``path``.
+    rate_scale:
+        ``trace`` only: arrival-rate multiplier.  Replayed timestamps are
+        divided by this, so ``2.0`` replays the same log at twice the
+        request rate ("what if traffic doubled?").  Default ``1.0``.
+    time_scale:
+        ``trace`` only: timestamp multiplier (unit conversion — e.g.
+        ``1000.0`` lifts a log recorded in seconds to ms).  Applied
+        together with ``rate_scale`` as ``t * time_scale / rate_scale``.
+    limit:
+        ``trace`` only: replay only the first ``limit`` arrivals of the
+        (timestamp-sorted) log.  ``null`` replays everything.
     """
 
     kind: str = "poisson"
     rate_per_ms: float | None = None
     segments: tuple[tuple[float, float], ...] = ()
     seed: int = 0
+    path: str | None = None
+    events: tuple[float, ...] = ()
+    rate_scale: float = 1.0
+    time_scale: float = 1.0
+    limit: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "segments", _as_tuple(self.segments))
+        object.__setattr__(
+            self, "events", tuple(float(e) for e in _as_tuple(self.events))
+        )
         _require(
             self.kind in ARRIVAL_KINDS,
             f"unknown arrival kind {self.kind!r}; expected one of {ARRIVAL_KINDS}",
         )
+        if self.kind != "trace":
+            _require(
+                self.path is None and not self.events,
+                f"{self.kind} arrivals take no path/events "
+                "(use kind=\"trace\" to replay a request log)",
+            )
+            _require(
+                self.rate_scale == 1.0
+                and self.time_scale == 1.0
+                and self.limit is None,
+                f"rate_scale/time_scale/limit only apply to trace arrivals "
+                f"(kind={self.kind!r})",
+            )
         if self.kind in ("poisson", "deterministic"):
             _require(
                 self.rate_per_ms is not None and self.rate_per_ms > 0,
@@ -170,7 +226,7 @@ class ArrivalSpec:
                 not self.segments,
                 f"{self.kind} arrivals take no segments (got {self.segments})",
             )
-        else:  # time_varying
+        elif self.kind == "time_varying":
             _require(
                 self.rate_per_ms is None,
                 "time_varying arrivals are described by segments, not rate_per_ms",
@@ -185,6 +241,38 @@ class ArrivalSpec:
                 _require(
                     duration > 0 and rate > 0,
                     f"segment durations and rates must be positive, got {seg}",
+                )
+        else:  # trace
+            _require(
+                self.rate_per_ms is None and not self.segments,
+                "trace arrivals replay a request log; they take no "
+                "rate_per_ms or segments",
+            )
+            _require(
+                (self.path is None) != (len(self.events) == 0),
+                "trace arrivals need exactly one of path or events",
+            )
+            _require(
+                self.rate_scale > 0, f"rate_scale must be positive, got {self.rate_scale}"
+            )
+            _require(
+                self.time_scale > 0, f"time_scale must be positive, got {self.time_scale}"
+            )
+            if self.limit is not None:
+                _require(
+                    self.limit > 0, f"limit must be positive, got {self.limit}"
+                )
+            if self.events:
+                _require(
+                    all(t >= 0.0 for t in self.events),
+                    "inline trace events must be non-negative timestamps",
+                )
+                _require(
+                    all(
+                        a <= b
+                        for a, b in zip(self.events, self.events[1:])
+                    ),
+                    "inline trace events must be non-decreasing",
                 )
 
     # ------------------------------------------------------------- generate
@@ -205,7 +293,41 @@ class ArrivalSpec:
             assert rate is not None  # __post_init__ rejects rateless arrivals
             spaced = np.arange(1, num_queries + 1, dtype=np.float64) / rate
             return np.asarray(spaced, dtype=np.float64)
+        if self.kind == "trace":
+            events = self._trace_events()
+            if num_queries > events.size:
+                raise ValueError(
+                    f"trace provides {events.size} arrivals but the "
+                    f"scenario needs {num_queries}; lower num_queries "
+                    "(or raise/remove the limit)"
+                )
+            return np.asarray(events[:num_queries].copy(), dtype=np.float64)
         return self._time_varying(num_queries)
+
+    def _trace_events(self) -> npt.NDArray[np.float64]:
+        """The replayed log's timestamps, limited and scaled, in ms.
+
+        With ``rate_scale == time_scale == 1.0`` the timestamps pass
+        through untouched — an inline ``events`` replay is bit-identical
+        to the same timestamps from any other source.
+        """
+        if self.path is not None:
+            from repro.serving.trace_io import load_trace_log
+
+            events = load_trace_log(self.path, limit=self.limit).timestamps_ms
+        else:
+            arr = np.asarray(self.events, dtype=np.float64)
+            events = arr if self.limit is None else arr[: self.limit]
+        _require(events.size > 0, "the replayed trace has no arrivals")
+        _require(
+            float(events[-1]) > 0.0,
+            "the replayed trace must span positive time "
+            "(its last timestamp is 0)",
+        )
+        factor = self.time_scale / self.rate_scale
+        if factor != 1.0:
+            events = events * factor
+        return np.asarray(events, dtype=np.float64)
 
     def _time_varying(self, num_queries: int) -> npt.NDArray[np.float64]:
         """Exact piecewise-constant-rate Poisson process via unit hazards.
@@ -254,9 +376,27 @@ class ArrivalSpec:
             rate = self.rate_per_ms
             assert rate is not None  # validated in __post_init__
             return float(rate)
+        if self.kind == "trace":
+            events = self._trace_events()
+            return float(events.size / events[-1])
         total_time = sum(d for d, _ in self.segments)
         total_arrivals = sum(d * r for d, r in self.segments)
         return total_arrivals / total_time
+
+    def trace_log(self) -> "TraceLog | None":
+        """The replayed request log, when this spec names one by ``path``.
+
+        ``None`` for synthetic kinds and for inline ``events`` replays
+        (which carry no annotation columns).  The log is limited but
+        *not* time-scaled: its ``slo_ms`` / ``accuracy_floor`` columns
+        are constraints, not timestamps (``repro.serving.api`` feeds them
+        into the workload).
+        """
+        if self.kind != "trace" or self.path is None:
+            return None
+        from repro.serving.trace_io import load_trace_log
+
+        return load_trace_log(self.path, limit=self.limit)
 
     # ---------------------------------------------------------- serialization
     def to_dict(self) -> dict[str, Any]:
@@ -265,12 +405,18 @@ class ArrivalSpec:
             "rate_per_ms": self.rate_per_ms,
             "segments": [list(seg) for seg in self.segments],
             "seed": self.seed,
+            "path": self.path,
+            "events": list(self.events),
+            "rate_scale": self.rate_scale,
+            "time_scale": self.time_scale,
+            "limit": self.limit,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
         payload: dict[str, Any] = dict(data)
         payload["segments"] = _as_tuple(payload.get("segments", ()))
+        payload["events"] = _as_tuple(payload.get("events", ()))
         return cls(**payload)
 
 

@@ -194,9 +194,45 @@ class WorkloadGenerator:
             return self._bursty(rng)
         raise ValueError(f"unknown pattern {pattern!r}")  # pragma: no cover
 
-    def generate(self, *, name: str | None = None) -> QueryTrace:
-        """Produce a query trace according to the spec."""
+    def _overridden_arrays(
+        self,
+        accuracy_override: np.ndarray | None,
+        latency_override: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The constraint draws, with replayed-log columns substituted.
+
+        Trace-replay scenarios may carry per-request ``accuracy_floor`` /
+        ``slo_ms`` columns (see :mod:`repro.serving.trace_io`); a present
+        column replaces the corresponding synthetic draw wholesale, so the
+        served constraints are exactly the recorded ones.  Overrides longer
+        than the stream are truncated; shorter ones are an error.
+        """
         acc, lat = self.generate_arrays()
+        n = self.spec.num_queries
+        for label, override in (
+            ("accuracy", accuracy_override),
+            ("latency", latency_override),
+        ):
+            if override is not None and len(override) < n:
+                raise ValueError(
+                    f"{label} override supplies {len(override)} values for "
+                    f"{n} queries"
+                )
+        if accuracy_override is not None:
+            acc = np.asarray(accuracy_override, dtype=np.float64)[:n]
+        if latency_override is not None:
+            lat = np.asarray(latency_override, dtype=np.float64)[:n]
+        return acc, lat
+
+    def generate(
+        self,
+        *,
+        name: str | None = None,
+        accuracy_override: np.ndarray | None = None,
+        latency_override: np.ndarray | None = None,
+    ) -> QueryTrace:
+        """Produce a query trace according to the spec."""
+        acc, lat = self._overridden_arrays(accuracy_override, latency_override)
         queries = tuple(
             Query(index=i, accuracy_constraint=float(a), latency_constraint_ms=float(l))
             for i, (a, l) in enumerate(zip(acc, lat))
@@ -205,13 +241,19 @@ class WorkloadGenerator:
             queries=queries, name=name or f"{self.spec.pattern}-{self.seed}"
         )
 
-    def generate_array_trace(self, *, name: str | None = None) -> ArrayQueryTrace:
+    def generate_array_trace(
+        self,
+        *,
+        name: str | None = None,
+        accuracy_override: np.ndarray | None = None,
+        latency_override: np.ndarray | None = None,
+    ) -> ArrayQueryTrace:
         """The array-backed form of :meth:`generate` (lazy ``Query`` objects).
 
         Used by the engine fast path on long traces; materialized queries
         are bit-identical to :meth:`generate`'s.
         """
-        acc, lat = self.generate_arrays()
+        acc, lat = self._overridden_arrays(accuracy_override, latency_override)
         return ArrayQueryTrace(
             acc, lat, name=name or f"{self.spec.pattern}-{self.seed}"
         )

@@ -1,0 +1,30 @@
+"""Declarative scenario sweeps: grid specs, parallel execution, merged artifacts.
+
+One reproducible runner replacing N ad-hoc sweep scripts: a
+:class:`SweepSpec` (base scenario × override axes) expands into grid cells,
+:func:`run_sweep` executes them — optionally across forked worker processes
+with per-worker stack caching — and the merged :class:`SweepResult`
+serializes to JSON/CSV artifacts that are byte-identical regardless of the
+worker count.  The CLI front end is ``python -m repro sweep``.
+"""
+
+from repro.sweep.spec import SweepAxis, SweepSpec
+from repro.sweep.runner import (
+    METRIC_FIELDS,
+    CellResult,
+    SweepResult,
+    format_sweep_summary,
+    result_metrics,
+    run_sweep,
+)
+
+__all__ = [
+    "METRIC_FIELDS",
+    "CellResult",
+    "SweepAxis",
+    "SweepResult",
+    "SweepSpec",
+    "format_sweep_summary",
+    "result_metrics",
+    "run_sweep",
+]

@@ -1,0 +1,264 @@
+"""Parallel sweep execution: expand the grid, run cells, merge results.
+
+:func:`run_sweep` expands a :class:`~repro.sweep.spec.SweepSpec` into its
+grid cells and runs each through :func:`repro.serving.api.run_scenario`,
+optionally fanning cells out over forked worker processes.  Guarantees:
+
+* **Deterministic artifacts** — cell results are keyed and re-ordered by
+  grid index, metrics are pure functions of the (seeded) simulation, and
+  nothing wall-clock-dependent is recorded, so the merged JSON/CSV
+  artifact is byte-identical however many workers ran the sweep.
+* **Per-cell fault isolation** — a cell whose overrides fail validation or
+  whose run raises becomes an *error cell* (``error`` set, ``metrics``
+  null); the other cells are unaffected.
+* **Per-worker stack caching** — each worker process keeps one
+  ``StackCache``, so expensive latency tables build once per worker, not
+  once per cell (forked workers inherit whatever the parent has already
+  warmed).
+* **Sequential fallback** — ``workers <= 1``, a single cell, or a platform
+  without ``fork`` (spawn would need every backend picklable) all run the
+  cells in-process, in grid order, producing the identical artifact.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.serving.api import StackCache, run_scenario
+from repro.serving.engine import SimulationResult
+from repro.sweep.spec import SweepSpec
+
+__all__ = [
+    "METRIC_FIELDS",
+    "CellResult",
+    "SweepResult",
+    "format_sweep_summary",
+    "result_metrics",
+    "run_sweep",
+]
+
+#: The fixed, ordered metric set every cell reports — a closed list so the
+#: merged CSV's columns (and the JSON's key order) never depend on which
+#: cells happened to succeed.
+METRIC_FIELDS: tuple[str, ...] = (
+    "num_offered",
+    "num_served",
+    "num_dropped",
+    "offered_load",
+    "drop_rate",
+    "slo_attainment",
+    "mean_response_ms",
+    "p99_response_ms",
+    "achieved_throughput_per_ms",
+    "goodput_per_ms",
+    "mean_accuracy",
+    "mean_batch_occupancy",
+    "replica_seconds",
+    "weighted_replica_seconds",
+    "num_crashes",
+    "duration_ms",
+)
+
+
+def result_metrics(result: SimulationResult) -> dict[str, float]:
+    """One cell's scalar metrics, in the fixed :data:`METRIC_FIELDS` order."""
+    return {name: float(getattr(result, name)) for name in METRIC_FIELDS}
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one grid cell: its overrides plus metrics or an error."""
+
+    index: int
+    overrides: tuple[tuple[str, Any], ...]
+    error: str | None = None
+    metrics: dict[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "overrides", tuple(tuple(o) for o in self.overrides)
+        )
+        if (self.error is None) == (self.metrics is None):
+            raise ValueError(
+                "a cell result carries exactly one of metrics or error"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "overrides": [[path, value] for path, value in self.overrides],
+            "error": self.error,
+            "metrics": None if self.metrics is None else dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellResult":
+        payload: dict[str, Any] = dict(data)
+        payload["overrides"] = tuple(
+            (path, value) for path, value in payload.get("overrides", ())
+        )
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The merged outcome of a sweep: spec + one result per grid cell."""
+
+    spec: SweepSpec
+    cells: tuple[CellResult, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cells", tuple(self.cells))
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for c in self.cells if c.ok)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.cells) - self.num_ok
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        payload: dict[str, Any] = dict(data)
+        if "spec" in payload:
+            payload["spec"] = SweepSpec.from_dict(payload["spec"])
+        payload["cells"] = tuple(
+            CellResult.from_dict(c) for c in payload.get("cells", ())
+        )
+        return cls(**payload)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The merged JSON artifact (byte-identical across worker counts)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_csv(self) -> str:
+        """The merged CSV artifact: axis columns + the fixed metric set.
+
+        Axis values serialize compactly as JSON so strings, numbers and
+        structured values all land unambiguously in one column; floats
+        round-trip exactly (``json.dumps`` emits ``repr`` digits).
+        """
+        axis_paths = [axis.path for axis in self.spec.axes]
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        writer.writerow(["index", *axis_paths, "error", *METRIC_FIELDS])
+        for cell in self.cells:
+            by_path = dict(cell.overrides)
+            row: list[str] = [str(cell.index)]
+            row.extend(json.dumps(by_path[path]) for path in axis_paths)
+            row.append("" if cell.error is None else cell.error)
+            for name in METRIC_FIELDS:
+                value = None if cell.metrics is None else cell.metrics[name]
+                row.append("" if value is None else repr(value))
+            writer.writerow(row)
+        return buffer.getvalue()
+
+
+# ------------------------------------------------------------------ running
+#: One template-stack cache per process: the parent's warms sequential runs
+#: (and is inherited, copy-on-write, by forked workers).
+_STACK_CACHE: StackCache = {}
+
+_CellOutput = tuple[int, str | None, dict[str, float] | None]
+
+
+def _run_cell(
+    payload: tuple[int, dict[str, Any], tuple[tuple[str, Any], ...]],
+) -> _CellOutput:
+    """Run one grid cell; failures become per-cell errors, never raises."""
+    index, sweep_data, overrides = payload
+    try:
+        spec = SweepSpec.from_dict(sweep_data).scenario(overrides)
+        result = run_scenario(spec, stack_cache=_STACK_CACHE)
+        return index, None, result_metrics(result)
+    except Exception as exc:  # noqa: BLE001 - cell isolation is the contract
+        return index, f"{type(exc).__name__}: {exc}", None
+
+
+def _map_cells(
+    payloads: list[tuple[int, dict[str, Any], tuple[tuple[str, Any], ...]]],
+    workers: int | None,
+) -> list[_CellOutput]:
+    if workers is None or workers <= 1 or len(payloads) <= 1:
+        return [_run_cell(p) for p in payloads]
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        # No fork on this platform; spawn would need every backend
+        # importable-picklable.  The sequential path produces the identical
+        # artifact, just slower.
+        return [_run_cell(p) for p in payloads]
+    with ctx.Pool(processes=min(workers, len(payloads))) as pool:
+        # chunksize=1 so long cells don't serialize behind short ones.
+        return pool.map(_run_cell, payloads, chunksize=1)
+
+
+def run_sweep(spec: SweepSpec, *, workers: int | None = None) -> SweepResult:
+    """Expand and run a sweep grid; the result's cells are in grid order.
+
+    ``workers > 1`` fans cells out over forked processes (falling back to
+    in-process execution where fork is unavailable); the merged result is
+    byte-identical either way.
+    """
+    cells = spec.cells()
+    sweep_data = spec.to_dict()
+    payloads = [(i, sweep_data, cell) for i, cell in enumerate(cells)]
+    outputs = _map_cells(payloads, workers)
+    by_index: dict[int, _CellOutput] = {out[0]: out for out in outputs}
+    ordered = tuple(
+        CellResult(
+            index=i,
+            overrides=cells[i],
+            error=by_index[i][1],
+            metrics=by_index[i][2],
+        )
+        for i in range(len(cells))
+    )
+    return SweepResult(spec=spec, cells=ordered)
+
+
+def format_sweep_summary(result: SweepResult) -> str:
+    """Human-readable per-cell summary of one sweep (used by the CLI)."""
+    from repro.analysis.reporting import format_table
+
+    rows: dict[str, dict[str, object]] = {}
+    for cell in result.cells:
+        label = ", ".join(f"{p}={v}" for p, v in cell.overrides) or "(base)"
+        key = f"cell {cell.index}: {label}"
+        if cell.metrics is None:
+            rows[key] = {"status": f"ERROR: {cell.error}"}
+        else:
+            rows[key] = {
+                "served": cell.metrics["num_served"],
+                "dropped": cell.metrics["num_dropped"],
+                "SLO attainment": cell.metrics["slo_attainment"],
+                "p99 response (ms)": cell.metrics["p99_response_ms"],
+                "goodput (/ms)": cell.metrics["goodput_per_ms"],
+                "mean accuracy (%)": 100.0 * cell.metrics["mean_accuracy"],
+            }
+    return format_table(
+        rows,
+        title=(
+            f"Sweep {result.spec.name!r} — {len(result.cells)} cells "
+            f"({result.num_ok} ok, {result.num_failed} failed)"
+        ),
+        precision=3,
+    )

@@ -1,0 +1,175 @@
+"""Declarative sweep grids: one base scenario × override axes.
+
+A :class:`SweepSpec` names a base :class:`~repro.serving.spec.ScenarioSpec`
+and a list of :class:`SweepAxis` entries, each a dotted override path (the
+same paths ``repro serve --override`` takes) and the values to try.  The
+grid is the cartesian product of the axes, expanded in declaration order
+with the *last* axis varying fastest — cell ``i`` is a pure function of the
+spec, independent of how (or on how many workers) the sweep runs.
+
+Like every spec in the repo, the sweep grid round-trips exactly through
+plain JSON (``from_dict(to_dict(spec)) == spec``), so grids live in
+version-controlled files (``examples/sweeps/``) and run from the command
+line with ``python -m repro sweep --spec <file>``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.serving.spec import ScenarioSpec
+
+__all__ = ["SweepAxis", "SweepSpec"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _as_tuple(value: Any) -> Any:
+    """Recursively convert lists (as produced by JSON) to tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_as_tuple(v) for v in value)
+    return value
+
+
+def _as_json(value: Any) -> Any:
+    """Recursively convert tuples back to lists for JSON serialization."""
+    if isinstance(value, (list, tuple)):
+        return [_as_json(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One override axis of a sweep grid.
+
+    Attributes
+    ----------
+    path:
+        Dotted path into the serialized scenario (exactly the
+        ``--override`` syntax), e.g. ``"arrivals.rate_scale"`` or
+        ``"replica_groups.0.count"``.
+    values:
+        The values this axis tries, in order.  Values may themselves be
+        JSON structures (lists arrive as tuples after parsing).
+    """
+
+    path: str
+    values: tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", _as_tuple(self.values))
+        _require(
+            isinstance(self.path, str) and bool(self.path),
+            f"axis path must be a non-empty string, got {self.path!r}",
+        )
+        _require(
+            bool(self.values),
+            f"axis {self.path!r} needs at least one value",
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"path": self.path, "values": [_as_json(v) for v in self.values]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepAxis":
+        payload: dict[str, Any] = dict(data)
+        payload["values"] = _as_tuple(payload.get("values", ()))
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of scenarios: base spec × override axes.
+
+    Attributes
+    ----------
+    base:
+        The scenario every grid cell starts from.
+    axes:
+        Override axes; the grid is their cartesian product, last axis
+        varying fastest.  An empty tuple is a one-cell sweep (just the
+        base scenario).
+    name:
+        Sweep name (labels the merged artifact).
+    """
+
+    base: ScenarioSpec
+    axes: tuple[SweepAxis, ...] = ()
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, Mapping):
+            object.__setattr__(self, "base", ScenarioSpec.from_dict(self.base))
+        object.__setattr__(
+            self,
+            "axes",
+            tuple(
+                SweepAxis.from_dict(a) if isinstance(a, Mapping) else a
+                for a in self.axes
+            ),
+        )
+        paths = [a.path for a in self.axes]
+        _require(
+            len(set(paths)) == len(paths),
+            f"axis paths must be unique, got {paths}",
+        )
+
+    # --------------------------------------------------------------- derived
+    @property
+    def num_cells(self) -> int:
+        count = 1
+        for axis in self.axes:
+            count *= len(axis.values)
+        return count
+
+    def cells(self) -> tuple[tuple[tuple[str, Any], ...], ...]:
+        """Every grid cell's override list, in deterministic order.
+
+        Cell ``i`` pairs each axis path with one of its values; the last
+        axis varies fastest (row-major order).  This ordering is the
+        contract the merged artifact's byte-identity across worker counts
+        rests on.
+        """
+        per_axis = [
+            [(axis.path, value) for value in axis.values] for axis in self.axes
+        ]
+        return tuple(itertools.product(*per_axis))
+
+    def scenario(self, cell: tuple[tuple[str, Any], ...]) -> ScenarioSpec:
+        """The concrete scenario of one grid cell (overrides applied)."""
+        spec = self.base.override_many(cell)
+        labels = ",".join(f"{path}={value}" for path, value in cell)
+        if labels:
+            spec = spec.override("name", f"{self.base.name}[{labels}]")
+        return spec
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "axes": [a.to_dict() for a in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        payload: dict[str, Any] = dict(data)
+        if "base" in payload:
+            payload["base"] = ScenarioSpec.from_dict(payload["base"])
+        payload["axes"] = tuple(
+            SweepAxis.from_dict(a) for a in payload.get("axes", ())
+        )
+        return cls(**payload)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))

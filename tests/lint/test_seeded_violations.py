@@ -19,6 +19,8 @@ from repro.lint import run_lint
 REPO_ROOT = Path(__file__).resolve().parents[2]
 ENGINE = REPO_ROOT / "src" / "repro" / "serving" / "engine"
 SPEC = REPO_ROOT / "src" / "repro" / "serving" / "spec.py"
+SWEEP_SPEC = REPO_ROOT / "src" / "repro" / "sweep" / "spec.py"
+TRACE_IO = REPO_ROOT / "src" / "repro" / "serving" / "trace_io.py"
 
 
 def lint_codes(root: Path) -> set[str]:
@@ -94,6 +96,22 @@ def test_rpr004_field_dropped_from_to_dict(tmp_path: Path) -> None:
     mutated = source.replace('"seed": self.seed,\n', "", 1)
     assert mutated != source
     (tmp_path / "spec.py").write_text(mutated, encoding="utf-8")
+    assert "RPR004" in lint_codes(tmp_path)
+
+
+def test_rpr004_field_dropped_from_sweep_axis_to_dict(tmp_path: Path) -> None:
+    source = SWEEP_SPEC.read_text(encoding="utf-8")
+    mutated = source.replace('"path": self.path, ', "", 1)
+    assert mutated != source
+    (tmp_path / "sweep_spec.py").write_text(mutated, encoding="utf-8")
+    assert "RPR004" in lint_codes(tmp_path)
+
+
+def test_rpr004_field_dropped_from_trace_fit_to_dict(tmp_path: Path) -> None:
+    source = TRACE_IO.read_text(encoding="utf-8")
+    mutated = source.replace('"span_ms": self.span_ms,\n', "", 1)
+    assert mutated != source
+    (tmp_path / "trace_io.py").write_text(mutated, encoding="utf-8")
     assert "RPR004" in lint_codes(tmp_path)
 
 

@@ -37,6 +37,10 @@ def roundtrip(spec):
 def make_arrivals(kind: str) -> ArrivalSpec:
     if kind == "time_varying":
         return ArrivalSpec(kind=kind, segments=((10.0, 0.5), (5.0, 2.0)), seed=3)
+    if kind == "trace":
+        return ArrivalSpec(
+            kind=kind, events=(0.5, 1.25, 3.0), rate_scale=2.0, limit=3, seed=3
+        )
     return ArrivalSpec(kind=kind, rate_per_ms=0.75, seed=3)
 
 
@@ -87,11 +91,41 @@ class TestArrivalSpec:
             dict(kind="time_varying", segments=((0.0, 1.0),)),
             dict(kind="time_varying", segments=((1.0, -2.0),)),
             dict(kind="time_varying", rate_per_ms=1.0, segments=((1.0, 1.0),)),
+            dict(kind="trace"),  # needs path or events
+            dict(kind="trace", path="x.csv", events=(1.0,)),  # not both
+            dict(kind="trace", rate_per_ms=1.0, events=(1.0,)),
+            dict(kind="trace", events=(2.0, 1.0)),  # decreasing
+            dict(kind="trace", events=(-1.0, 1.0)),  # negative
+            dict(kind="trace", events=(1.0,), rate_scale=0.0),
+            dict(kind="trace", events=(1.0,), time_scale=-1.0),
+            dict(kind="trace", events=(1.0,), limit=0),
+            dict(kind="poisson", rate_per_ms=1.0, rate_scale=2.0),
+            dict(kind="poisson", rate_per_ms=1.0, events=(1.0,)),
+            dict(kind="poisson", rate_per_ms=1.0, path="x.csv"),
         ],
     )
     def test_invalid_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ArrivalSpec(**kwargs)
+
+    def test_trace_replays_inline_events_exactly(self):
+        spec = ArrivalSpec(kind="trace", events=(0.5, 1.0, 2.5, 7.0))
+        np.testing.assert_array_equal(spec.generate(4), [0.5, 1.0, 2.5, 7.0])
+        np.testing.assert_array_equal(spec.generate(2), [0.5, 1.0])
+        assert spec.nominal_rate_per_ms() == pytest.approx(4.0 / 7.0)
+        with pytest.raises(ValueError):
+            spec.generate(5)  # log exhausted
+
+    def test_trace_scaling_and_limit(self):
+        spec = ArrivalSpec(
+            kind="trace", events=(1.0, 2.0, 4.0, 8.0), rate_scale=2.0, limit=3
+        )
+        np.testing.assert_array_equal(spec.generate(3), [0.5, 1.0, 2.0])
+        # time_scale converts units (e.g. s -> ms), rate_scale divides.
+        lifted = ArrivalSpec(
+            kind="trace", events=(1.0, 2.0), time_scale=1000.0
+        )
+        np.testing.assert_array_equal(lifted.generate(2), [1000.0, 2000.0])
 
 
 class TestReplicaGroupSpec:

@@ -1,0 +1,168 @@
+"""Unit tests for trace-log I/O (`repro.serving.trace_io`).
+
+The property file (`tests/properties/test_property_trace.py`) proves the
+round-trip laws; these tests pin the loader's edge cases and error
+messages — malformed logs must fail loudly at load time, never mid-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.trace_io import (
+    TraceLog,
+    fit_piecewise_poisson,
+    load_trace_log,
+    read_csv_log,
+    read_jsonl_log,
+    write_csv_log,
+    write_jsonl_log,
+)
+
+
+def write(path, text):
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestTraceLogValidation:
+    def test_sorts_by_timestamp_carrying_columns(self):
+        log = TraceLog(
+            timestamps_ms=np.array([3.0, 1.0, 2.0]),
+            slo_ms=np.array([30.0, 10.0, 20.0]),
+            accuracy_floor=np.array([0.3, 0.1, 0.2]),
+        )
+        assert log.timestamps_ms.tolist() == [1.0, 2.0, 3.0]
+        assert log.slo_ms.tolist() == [10.0, 20.0, 30.0]
+        assert log.accuracy_floor.tolist() == [0.1, 0.2, 0.3]
+
+    def test_head_limits_after_sorting(self):
+        log = TraceLog(timestamps_ms=np.array([5.0, 1.0, 3.0]))
+        assert log.head(2).timestamps_ms.tolist() == [1.0, 3.0]
+        assert len(log.head(99)) == 3
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"timestamps_ms": np.array([])}, "at least one"),
+            ({"timestamps_ms": np.array([np.nan])}, "finite"),
+            ({"timestamps_ms": np.array([-1.0])}, "non-negative"),
+            (
+                {"timestamps_ms": np.array([1.0]), "slo_ms": np.array([0.0])},
+                "positive",
+            ),
+            (
+                {
+                    "timestamps_ms": np.array([1.0]),
+                    "accuracy_floor": np.array([1.0]),
+                },
+                r"\(0, 1\)",
+            ),
+            (
+                {"timestamps_ms": np.array([1.0, 2.0]), "slo_ms": np.array([1.0])},
+                "1 values for 2 timestamps",
+            ),
+        ],
+    )
+    def test_invalid_logs_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TraceLog(**kwargs)
+
+    def test_rows_and_columns_agree(self):
+        log = TraceLog(
+            timestamps_ms=np.array([1.0, 2.0]), slo_ms=np.array([5.0, 6.0])
+        )
+        assert log.columns() == ("timestamp_ms", "slo_ms")
+        assert log.rows() == [
+            {"timestamp_ms": 1.0, "slo_ms": 5.0},
+            {"timestamp_ms": 2.0, "slo_ms": 6.0},
+        ]
+
+
+class TestReaders:
+    def test_unknown_csv_column_rejected(self, tmp_path):
+        path = write(tmp_path / "log.csv", "timestamp_ms,priority\n1.0,2\n")
+        with pytest.raises(ValueError, match="unknown trace log columns"):
+            read_csv_log(path)
+
+    def test_missing_timestamp_column_rejected(self, tmp_path):
+        path = write(tmp_path / "log.jsonl", '{"slo_ms": 1.0}\n')
+        with pytest.raises(ValueError, match="timestamp_ms"):
+            read_jsonl_log(path)
+
+    def test_empty_log_rejected(self, tmp_path):
+        path = write(tmp_path / "log.csv", "timestamp_ms\n")
+        with pytest.raises(ValueError, match="empty trace log"):
+            read_csv_log(path)
+
+    def test_optional_column_missing_midway_rejected(self, tmp_path):
+        path = write(
+            tmp_path / "log.csv", "timestamp_ms,slo_ms\n1.0,2.0\n2.0,\n"
+        )
+        with pytest.raises(ValueError, match="row 1 is missing 'slo_ms'"):
+            read_csv_log(path)
+
+    def test_optional_column_introduced_midway_rejected(self, tmp_path):
+        path = write(
+            tmp_path / "log.jsonl",
+            '{"timestamp_ms": 1.0}\n{"timestamp_ms": 2.0, "slo_ms": 3.0}\n',
+        )
+        with pytest.raises(ValueError, match="midway"):
+            read_jsonl_log(path)
+
+    def test_non_numeric_value_rejected(self, tmp_path):
+        path = write(tmp_path / "log.csv", "timestamp_ms\nfast\n")
+        with pytest.raises(ValueError, match="not a number"):
+            read_csv_log(path)
+
+    def test_invalid_json_line_rejected(self, tmp_path):
+        path = write(tmp_path / "log.jsonl", '{"timestamp_ms": 1.0}\n{oops\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_jsonl_log(path)
+
+    def test_non_object_json_line_rejected(self, tmp_path):
+        path = write(tmp_path / "log.jsonl", "[1.0]\n")
+        with pytest.raises(ValueError):
+            read_jsonl_log(path)
+
+
+class TestLoadDispatch:
+    def test_dispatches_by_extension(self, tmp_path):
+        log = TraceLog(
+            timestamps_ms=np.array([0.5, 1.5, 2.5]), slo_ms=np.array([1.0, 2.0, 3.0])
+        )
+        csv_path = tmp_path / "log.csv"
+        jsonl_path = tmp_path / "log.jsonl"
+        write_csv_log(csv_path, log)
+        write_jsonl_log(jsonl_path, log)
+        assert load_trace_log(csv_path) == log
+        assert load_trace_log(jsonl_path) == log
+
+    def test_limit_applies_after_sorting(self, tmp_path):
+        path = write(tmp_path / "log.csv", "timestamp_ms\n5.0\n1.0\n3.0\n")
+        limited = load_trace_log(path, limit=2)
+        assert limited.timestamps_ms.tolist() == [1.0, 3.0]
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = write(tmp_path / "log.parquet", "timestamp_ms\n1.0\n")
+        with pytest.raises(ValueError):
+            load_trace_log(path)
+
+
+class TestFitterEdgeCases:
+    def test_needs_two_timestamps(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_piecewise_poisson(np.array([1.0]))
+
+    def test_needs_positive_span(self):
+        with pytest.raises(ValueError, match="positive time span"):
+            fit_piecewise_poisson(np.array([2.0, 2.0, 2.0]))
+
+    def test_bursty_log_yields_multiple_segments_and_bursts(self):
+        quiet = np.arange(50, dtype=np.float64) * 10.0
+        burst = quiet[-1] + 1.0 + np.arange(50, dtype=np.float64) * 0.1
+        fit = fit_piecewise_poisson(np.concatenate([quiet, burst]))
+        assert len(fit.segments) >= 2
+        assert fit.num_burst_windows >= 1
+        assert fit.peak_to_mean > 1.0

@@ -12,6 +12,7 @@ import pytest
 from repro.cli import main
 from repro.experiments.registry import list_experiments
 from repro.serving import ArrivalSpec, ReplicaGroupSpec, ScenarioSpec, WorkloadSpec
+from repro.sweep import SweepAxis, SweepSpec
 from repro.core.policies import Policy
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -260,6 +261,161 @@ class TestLint:
     def test_missing_path_fails_cleanly(self, capsys):
         assert main(["lint", "/no/such/tree"]) == 2
         assert "lint:" in capsys.readouterr().err
+
+
+class TestCheckedInReplayExamples:
+    def test_checked_in_replayed_scenario_parses(self):
+        path = REPO_ROOT / "examples" / "scenarios" / "replayed_pool.json"
+        spec = ScenarioSpec.from_json(path.read_text())
+        assert spec.arrivals.kind == "trace"
+        assert spec.arrivals.path == "examples/traces/replay_sample.csv"
+        assert spec.fast_path
+        assert spec.to_json() + "\n" == path.read_text()  # exact round-trip
+
+    def test_checked_in_replay_grid_parses(self):
+        path = REPO_ROOT / "examples" / "sweeps" / "replay_grid.json"
+        spec = SweepSpec.from_json(path.read_text())
+        assert spec.num_cells == 12
+        assert spec.base.arrivals.kind == "trace"
+        assert spec.to_json() + "\n" == path.read_text()  # exact round-trip
+
+    def test_serves_replayed_scenario_with_rate_scale_override(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scenario",
+                    "examples/scenarios/replayed_pool.json",
+                    "--override",
+                    "arrivals.rate_scale=2",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out
+
+
+@pytest.fixture()
+def grid_file(tmp_path):
+    base = ScenarioSpec(
+        name="cli-grid-base",
+        supernet_name="ofa_mobilenetv3",
+        policy=Policy.STRICT_LATENCY,
+        replica_groups=(ReplicaGroupSpec(count=1, name="pool"),),
+        admission="drop_expired",
+        workload=WorkloadSpec(
+            num_queries=15, accuracy_range=None, latency_range_ms=None
+        ),
+        arrivals=ArrivalSpec(
+            kind="trace", events=tuple(0.4 * (i + 1) for i in range(15))
+        ),
+        fast_path=True,
+    )
+    spec = SweepSpec(
+        base=base,
+        axes=(SweepAxis(path="arrivals.rate_scale", values=(1.0, 2.0)),),
+        name="cli-grid",
+    )
+    path = tmp_path / "grid.json"
+    path.write_text(spec.to_json())
+    return path
+
+
+class TestSweepCommand:
+    def test_artifacts_byte_identical_across_worker_counts(
+        self, grid_file, tmp_path, capsys
+    ):
+        artifacts = {}
+        for workers in (1, 2):
+            json_out = tmp_path / f"sweep-{workers}.json"
+            csv_out = tmp_path / f"sweep-{workers}.csv"
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "--spec",
+                        str(grid_file),
+                        "--workers",
+                        str(workers),
+                        "--json",
+                        str(json_out),
+                        "--csv",
+                        str(csv_out),
+                    ]
+                )
+                == 0
+            )
+            artifacts[workers] = (json_out.read_bytes(), csv_out.read_bytes())
+        assert artifacts[1] == artifacts[2]
+        payload = json.loads(artifacts[1][0])
+        assert len(payload["cells"]) == 2
+        assert all(cell["error"] is None for cell in payload["cells"])
+
+    def test_base_override_applies_to_every_cell(self, grid_file, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(grid_file),
+                    "--override",
+                    "workload.num_queries=10",
+                ]
+            )
+            == 0
+        )
+        assert "cell 0:" in capsys.readouterr().out
+
+    def test_failing_cell_exits_one_without_poisoning_the_rest(
+        self, tmp_path, capsys
+    ):
+        base = ScenarioSpec(
+            name="cli-grid-base",
+            supernet_name="ofa_mobilenetv3",
+            policy=Policy.STRICT_LATENCY,
+            replica_groups=(ReplicaGroupSpec(count=1, name="pool"),),
+            workload=WorkloadSpec(
+                num_queries=10, accuracy_range=None, latency_range_ms=None
+            ),
+            arrivals=ArrivalSpec(
+                kind="trace", events=tuple(0.5 * (i + 1) for i in range(10))
+            ),
+            fast_path=True,
+        )
+        spec = SweepSpec(
+            base=base,
+            axes=(SweepAxis(path="replica_groups.0.count", values=(1, -1)),),
+        )
+        path = tmp_path / "poisoned.json"
+        path.write_text(spec.to_json())
+        assert main(["sweep", "--spec", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR" in out
+        assert "cell 0:" in out
+
+    def test_missing_spec_file_fails_cleanly(self, capsys):
+        assert main(["sweep", "--spec", "/no/such/grid.json"]) == 2
+        assert capsys.readouterr().err
+
+
+class TestTraceFitCommand:
+    def test_fit_writes_parseable_recipe(self, tmp_path, capsys):
+        out = tmp_path / "recipe.json"
+        log = REPO_ROOT / "examples" / "traces" / "replay_sample.csv"
+        assert main(["trace", "fit", str(log), "--out", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "nominal rate" in report
+        recipe = json.loads(out.read_text())
+        arrivals = ArrivalSpec.from_dict(recipe["arrivals"])
+        assert arrivals.kind == "time_varying"
+        assert len(arrivals.segments) == len(recipe["fit"]["segments"])
+
+    def test_fit_missing_log_fails_cleanly(self, capsys):
+        assert main(["trace", "fit", "/no/such/log.csv"]) == 2
+        assert capsys.readouterr().err
 
 
 class TestModuleEntryPoint:

@@ -1,0 +1,153 @@
+"""Direct unit tests for ``tools/validate_trace.py``.
+
+CI's ``cli-smoke`` job runs the validator against freshly served traces —
+which only proves it accepts *valid* output.  These tests feed it
+hand-built payloads to prove each structural and fault-coherence rule
+actually fires on the malformed shape it guards against.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).resolve().parents[2] / "tools" / "validate_trace.py"
+
+spec = importlib.util.spec_from_file_location("validate_trace", TOOL)
+validate_trace_mod = importlib.util.module_from_spec(spec)
+assert spec.loader is not None
+spec.loader.exec_module(validate_trace_mod)
+validate_trace = validate_trace_mod.validate_trace
+
+
+def meta(name="thread_name"):
+    return {"ph": "M", "pid": 1, "name": name, "args": {"name": "replica-0"}}
+
+
+def span(cat="query", id_="q0", start=1.0, end=2.0):
+    return [
+        {"ph": "b", "pid": 1, "cat": cat, "id": id_, "ts": start},
+        {"ph": "e", "pid": 1, "cat": cat, "id": id_, "ts": end},
+    ]
+
+
+def fault(kind, replica, ts=1.0):
+    return {
+        "ph": "i",
+        "pid": 1,
+        "cat": "fault",
+        "name": kind,
+        "ts": ts,
+        "s": "g",
+        "args": {"replica_index": replica},
+    }
+
+
+def payload(*extra_events):
+    return {"traceEvents": [meta(), *span(), *extra_events]}
+
+
+class TestStructuralRules:
+    def test_minimal_valid_trace_passes(self):
+        assert validate_trace(payload()) == []
+
+    def test_non_object_payload_rejected(self):
+        assert validate_trace([1, 2]) == ["payload is not a JSON object"]
+
+    def test_empty_trace_events_rejected(self):
+        assert validate_trace({"traceEvents": []})
+
+    def test_unknown_phase_flagged(self):
+        problems = validate_trace(payload({"ph": "Z", "pid": 1}))
+        assert any("unknown or missing ph" in p for p in problems)
+
+    def test_missing_pid_flagged(self):
+        problems = validate_trace(
+            {"traceEvents": [meta(), *span(), {"ph": "i", "ts": 1.0, "s": "g"}]}
+        )
+        assert any("missing pid" in p for p in problems)
+
+    def test_negative_timestamp_flagged(self):
+        problems = validate_trace(payload(*span(id_="q1", start=-1.0)))
+        assert any("finite non-negative" in p for p in problems)
+
+    def test_no_thread_name_flagged(self):
+        problems = validate_trace({"traceEvents": span()})
+        assert any("thread_name" in p for p in problems)
+
+    def test_unbalanced_span_flagged(self):
+        events = [meta(), {"ph": "b", "pid": 1, "cat": "query", "id": "q0", "ts": 1.0}]
+        problems = validate_trace({"traceEvents": events})
+        assert any("expected exactly one of each" in p for p in problems)
+
+    def test_span_closing_before_opening_flagged(self):
+        problems = validate_trace(
+            {"traceEvents": [meta(), *span(id_="q1", start=5.0, end=2.0)]}
+        )
+        assert any("closes before it opens" in p for p in problems)
+
+
+class TestFaultCoherenceRules:
+    def test_coherent_fault_sequence_passes(self):
+        events = payload(
+            fault("straggle", 0, ts=1.0),
+            fault("straggle_end", 0, ts=2.0),
+            fault("dispatch_failure", 1, ts=3.0),
+            fault("crash", 1, ts=4.0),
+        )
+        assert validate_trace(events) == []
+
+    @pytest.mark.parametrize("replica", [None, -1, 1.5, True, "0"])
+    def test_bad_replica_index_flagged(self, replica):
+        problems = validate_trace(payload(fault("crash", replica)))
+        assert any("replica_index" in p for p in problems)
+
+    def test_unknown_fault_kind_flagged(self):
+        problems = validate_trace(payload(fault("meltdown", 0)))
+        assert any("unknown fault kind 'meltdown'" in p for p in problems)
+
+    def test_crash_at_most_once_per_replica(self):
+        problems = validate_trace(
+            payload(fault("crash", 0, ts=1.0), fault("crash", 0, ts=2.0))
+        )
+        assert any("after its crash" in p for p in problems)
+
+    def test_no_fault_events_after_crash(self):
+        problems = validate_trace(
+            payload(fault("crash", 0, ts=1.0), fault("straggle", 0, ts=2.0))
+        )
+        assert any("'straggle' on replica 0 after its crash" in p for p in problems)
+
+    def test_straggle_end_needs_open_interval(self):
+        problems = validate_trace(payload(fault("straggle_end", 2)))
+        assert any("without an open straggle interval" in p for p in problems)
+
+    def test_crash_on_other_replica_unaffected(self):
+        events = payload(fault("crash", 0, ts=1.0), fault("crash", 1, ts=2.0))
+        assert validate_trace(events) == []
+
+
+class TestMainEntryPoint:
+    def test_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(
+            json.dumps(payload()), encoding="utf-8"
+        )
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert validate_trace_mod.main(["validate_trace.py", str(good)]) == 0
+        assert "trace OK" in capsys.readouterr().out
+        assert validate_trace_mod.main(["validate_trace.py", str(bad)]) == 2
+        assert validate_trace_mod.main(["validate_trace.py"]) == 2
+
+    def test_invalid_trace_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "invalid.json"
+        path.write_text(
+            json.dumps(payload(fault("meltdown", 0))),
+            encoding="utf-8",
+        )
+        assert validate_trace_mod.main(["validate_trace.py", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
